@@ -1,0 +1,12 @@
+"""Benchmark target reproducing the paper's Figure 1.
+
+The cost of GC under the Appel-style baseline: (a) the fraction of time spent collecting versus heap size; (b) total time relative to the per-benchmark best, showing that the largest heap is not always the fastest (pseudojbb pages).
+"""
+
+from _util import assert_shape, run_experiment
+
+
+def test_figure1(benchmark):
+    """Regenerate Figure 1 and assert its qualitative shape."""
+    result = benchmark.pedantic(run_experiment, args=("figure1",), rounds=1, iterations=1)
+    assert_shape(result)

@@ -1,0 +1,12 @@
+"""Benchmark target reproducing the paper's Figure 10.
+
+Per-benchmark total execution time for Beltway 25.25.100, Appel and Fixed-25: Beltway wins at each benchmark's smallest completing heaps, and Appel needs substantially more memory to catch up.
+"""
+
+from _util import assert_shape, run_experiment
+
+
+def test_figure10(benchmark):
+    """Regenerate Figure 10 and assert its qualitative shape."""
+    result = benchmark.pedantic(run_experiment, args=("figure10",), rounds=1, iterations=1)
+    assert_shape(result)

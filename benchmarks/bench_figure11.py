@@ -1,0 +1,12 @@
+"""Benchmark target reproducing the paper's Figure 11.
+
+Responsiveness: minimum mutator utilisation curves for javac at two heap sizes; small-increment configurations give shorter pauses and better MMU than Appel, and pauses grow with the heap (increments scale with usable memory).
+"""
+
+from _util import assert_shape, run_experiment
+
+
+def test_figure11(benchmark):
+    """Regenerate Figure 11 and assert its qualitative shape."""
+    result = benchmark.pedantic(run_experiment, args=("figure11",), rounds=1, iterations=1)
+    assert_shape(result)

@@ -1,0 +1,12 @@
+"""Benchmark target reproducing the paper's Figures 2 and 3.
+
+Structural traces of the belt/increment organisation of BSS, Appel, BOFM, BOF, Beltway X.X and Beltway X.X.100 over successive collections.
+"""
+
+from _util import assert_shape, run_experiment
+
+
+def test_figure23(benchmark):
+    """Regenerate Figures 2 and 3 and assert its qualitative shape."""
+    result = benchmark.pedantic(run_experiment, args=("figure23",), rounds=1, iterations=1)
+    assert_shape(result)

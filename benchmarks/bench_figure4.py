@@ -1,0 +1,12 @@
+"""Benchmark target reproducing the paper's Figure 4.
+
+Write-barrier path statistics: the frame-based unidirectional barrier executes on every pointer store but takes its slow path (a remset insert) rarely; the gctk boundary barrier is shown alongside.
+"""
+
+from _util import assert_shape, run_experiment
+
+
+def test_figure4(benchmark):
+    """Regenerate Figure 4 and assert its qualitative shape."""
+    result = benchmark.pedantic(run_experiment, args=("figure4",), rounds=1, iterations=1)
+    assert_shape(result)

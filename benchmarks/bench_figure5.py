@@ -1,0 +1,12 @@
+"""Benchmark target reproducing the paper's Figure 5.
+
+Beltway as Appel: Beltway 100.100 performs the same as the independent Appel-style baseline, and a third generation alone (100.100.100) is not the source of X.X.100's improvement.
+"""
+
+from _util import assert_shape, run_experiment
+
+
+def test_figure5(benchmark):
+    """Regenerate Figure 5 and assert its qualitative shape."""
+    result = benchmark.pedantic(run_experiment, args=("figure5",), rounds=1, iterations=1)
+    assert_shape(result)

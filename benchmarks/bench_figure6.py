@@ -1,0 +1,12 @@
+"""Benchmark target reproducing the paper's Figure 6.
+
+Incrementality in generational collectors: the flexible Appel nursery beats every fixed-size nursery, and fixed nurseries fail outright at small heap sizes.
+"""
+
+from _util import assert_shape, run_experiment
+
+
+def test_figure6(benchmark):
+    """Regenerate Figure 6 and assert its qualitative shape."""
+    result = benchmark.pedantic(run_experiment, args=("figure6",), rounds=1, iterations=1)
+    assert_shape(result)

@@ -1,0 +1,12 @@
+"""Benchmark target reproducing the paper's Figure 7.
+
+Incrementality in Beltway: X.X.100 is robust to increment size except for very small increments (10), which degrade.
+"""
+
+from _util import assert_shape, run_experiment
+
+
+def test_figure7(benchmark):
+    """Regenerate Figure 7 and assert its qualitative shape."""
+    result = benchmark.pedantic(run_experiment, args=("figure7",), rounds=1, iterations=1)
+    assert_shape(result)

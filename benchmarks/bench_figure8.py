@@ -1,0 +1,12 @@
+"""Benchmark target reproducing the paper's Figure 8.
+
+Completeness trade-off: Beltway 25.25 and 25.25.100 perform the same on the geometric mean, but javac punishes 25.25's incompleteness (a cross-increment cyclic structure is never reclaimed).
+"""
+
+from _util import assert_shape, run_experiment
+
+
+def test_figure8(benchmark):
+    """Regenerate Figure 8 and assert its qualitative shape."""
+    result = benchmark.pedantic(run_experiment, args=("figure8",), rounds=1, iterations=1)
+    assert_shape(result)

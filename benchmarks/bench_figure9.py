@@ -1,0 +1,12 @@
+"""Benchmark target reproducing the paper's Figure 9.
+
+The headline result: Beltway 25.25.100 beats both the Appel-style and fixed-size-nursery generational collectors at small-to-moderate heap sizes and stays competitive at large ones.
+"""
+
+from _util import assert_shape, run_experiment
+
+
+def test_figure9(benchmark):
+    """Regenerate Figure 9 and assert its qualitative shape."""
+    result = benchmark.pedantic(run_experiment, args=("figure9",), rounds=1, iterations=1)
+    assert_shape(result)

@@ -1,0 +1,110 @@
+"""Benchmark target for the MOS (train algorithm) extension.
+
+The paper leaves this to future work (§3.2, §5): replace the X.X.100
+third belt with Mature Object Space rules to obtain completeness
+*without* full-heap collections.  Two measurements:
+
+1. **Cyclic-garbage stress** (the pathology behind the javac anecdote):
+   cross-increment cycles are built, aged and dropped under memory
+   pressure.  25.25 retains them forever (or dies); 25.25.MOS keeps
+   running — and does so without a single full-heap collection, which is
+   where it improves on 25.25.100.
+2. **javac**: the full synthetic workload, comparing worst-case pauses —
+   MOS's are bounded by one car plus the lower belts, below the
+   full-heap pauses 25.25.100 pays for its completeness.
+"""
+
+from _util import OUTPUT_DIR, SCALE
+
+from repro.errors import OutOfMemory
+from repro.harness.experiments import min_heap
+from repro.harness.runner import run_benchmark
+from repro.runtime import VM, MutatorContext
+
+CONFIGS = ("25.25", "25.25.100", "25.25.MOS")
+STRESS_HEAP = 18 * 1024
+
+
+def _cycle_stress(config):
+    """Cross-increment cycles under pressure; returns (completed, floor)."""
+    vm = VM(heap_bytes=STRESS_HEAP, collector=config)
+    node = vm.define_type("node", nrefs=2, nscalars=1)
+    mu = MutatorContext(vm)
+    pending = None
+    window = []
+    try:
+        for generation in range(120):
+            ring = [mu.alloc(node) for _ in range(4)]
+            for i, h in enumerate(ring):
+                mu.write(h, 0, ring[(i + 1) % 4])
+            if pending is not None:
+                mu.write(ring[0], 1, pending)
+                mu.write(pending, 1, ring[0])
+                pending.drop()
+                pending = None
+            else:
+                pending = mu.copy_handle(ring[0])
+            for h in ring:
+                h.drop()
+            for i in range(300):  # pressure with survivors
+                junk = mu.alloc(node)
+                if i % 6 == 0:
+                    window.append(junk)
+                    if len(window) > 40:
+                        window.pop(0).drop()
+                else:
+                    junk.drop()
+    except OutOfMemory:
+        return vm.finish(completed=False, failure="OOM")
+    return vm.finish()
+
+
+def _measure():
+    stress = {config: _cycle_stress(config) for config in CONFIGS}
+    minimum = min_heap("javac", SCALE)
+    javac = {
+        config: run_benchmark("javac", config, int(1.5 * minimum), scale=SCALE)
+        for config in CONFIGS
+    }
+    return stress, javac
+
+
+def test_mos_extension(benchmark):
+    stress, javac = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    lines = [f"Cyclic-garbage stress ({STRESS_HEAP // 1024}KB heap):"]
+    for config, stats in stress.items():
+        status = "ok" if stats.completed else "FAIL"
+        lines.append(
+            f"  {config:10s} {status:5s} GCs={stats.collections:4d} "
+            f"floor={stats.late_occupancy_floor():6d}B "
+            f"full-heap GCs={stats.full_heap_collections}"
+        )
+    lines.append("javac @1.5x min heap:")
+    for config, stats in javac.items():
+        lines.append(
+            f"  {config:10s} GCs={stats.collections:4d} "
+            f"maxpause={stats.max_pause_cycles:10.0f} "
+            f"total={stats.total_cycles:12.0f}"
+        )
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "mos_extension.txt").write_text("\n".join(lines) + "\n")
+
+    # Completeness under cycle stress: MOS completes; the incomplete
+    # configuration either dies or retains far more garbage.
+    mos_stress = stress["25.25.MOS"]
+    xx_stress = stress["25.25"]
+    assert mos_stress.completed
+    assert mos_stress.full_heap_collections == 0
+    if xx_stress.completed:
+        assert (
+            xx_stress.late_occupancy_floor()
+            > 1.3 * mos_stress.late_occupancy_floor()
+        )
+    # Incrementality on javac: bounded pauses, below 25.25.100's
+    # full-heap collections.
+    assert javac["25.25.MOS"].completed
+    assert (
+        javac["25.25.MOS"].max_pause_cycles
+        < 0.95 * javac["25.25.100"].max_pause_cycles
+    )
+    assert javac["25.25.MOS"].full_heap_collections == 0

@@ -1,0 +1,18 @@
+"""Benchmark target for the responsiveness/throughput sweep (extension).
+
+The paper's §4.3 shows Beltway "can be adjusted to provide better
+responsiveness" but leaves the tuning strategy open.  This target sweeps
+the X.X.100 increment size at a fixed heap and asserts the knob works:
+maximum pause grows monotonically with the increment size, collection
+counts shrink, and the smallest increments beat the Appel baseline's
+worst pause.
+"""
+
+from _util import assert_shape, run_experiment
+
+
+def test_responsiveness(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("responsiveness",), rounds=1, iterations=1
+    )
+    assert_shape(result)

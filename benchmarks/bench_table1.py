@@ -1,0 +1,12 @@
+"""Benchmark target reproducing the paper's Table 1.
+
+Benchmark characteristics under the Appel baseline: minimum heap size, total allocation, and collection counts at the minimum and at 3x the minimum heap.
+"""
+
+from _util import assert_shape, run_experiment
+
+
+def test_table1(benchmark):
+    """Regenerate Table 1 and assert its qualitative shape."""
+    result = benchmark.pedantic(run_experiment, args=("table1",), rounds=1, iterations=1)
+    assert_shape(result)

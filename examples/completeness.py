@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Completeness: why Beltway X.X.100 exists (the javac anecdote, §4.2.4).
+
+Beltway X.X (two belts of bounded increments) is attractively incremental
+but *incomplete*: a dead cycle whose members sit in different increments
+is never reclaimed, because each increment is collected independently and
+each member looks live from the other's remembered set.  Beltway X.X.100
+adds a third, growable belt that is eventually collected en masse,
+restoring completeness.
+
+This example constructs the pathological case directly through the
+public API: rings of objects are cross-linked with rings allocated far
+enough earlier that promotion scatters each pair across increments, then
+all roots are dropped.  Under 25.25 the garbage accumulates forever;
+under 25.25.100 (and Appel) it is reclaimed.
+
+Run::
+
+    python examples/completeness.py
+"""
+
+from repro import VM, MutatorContext
+from repro.errors import OutOfMemory
+
+HEAP = 18 * 1024
+
+
+def run(collector: str):
+    vm = VM(heap_bytes=HEAP, collector=collector)
+    node = vm.define_type("node", nrefs=2, nscalars=1)
+    mu = MutatorContext(vm)
+
+    floor = [None]  # lowest post-collection occupancy, in words
+
+    def watch(result):
+        occ = vm.plan.live_words_upper_bound
+        if floor[0] is None or occ < floor[0]:
+            floor[0] = occ
+
+    vm.plan.collection_listeners.append(watch)
+    previous = None
+    doomed = 0
+    try:
+        for generation in range(80):
+            # one small ring per "generation"
+            ring = [mu.alloc(node) for _ in range(4)]
+            for i, handle in enumerate(ring):
+                mu.write(handle, 0, ring[(i + 1) % 4])
+            if previous is not None:
+                # cross-link with the ring allocated a generation ago:
+                # by now its members live in an older increment
+                mu.write(ring[0], 1, previous)
+                mu.write(previous, 1, ring[0])
+                previous.drop()
+                previous = None
+            else:
+                previous = mu.copy_handle(ring[0])
+            for handle in ring:
+                handle.drop()  # the cycle is garbage (when paired)
+            doomed += 4 * node.size_bytes()
+            # age the ring into the upper belts
+            for _ in range(400):
+                mu.alloc(node).drop()
+        # All rings are garbage now.  Measure the occupancy floor over a
+        # final stretch of pure churn: every collector gets ample chances
+        # to reclaim whatever it is able to reclaim.
+        floor[0] = None
+        window = []
+        for i in range(30000):
+            junk = mu.alloc(node)
+            if i % 6 == 0:
+                window.append(junk)
+                if len(window) > 40:  # rotating survivors: the old belts
+                    window.pop(0).drop()  # keep filling, forcing full GCs
+            else:
+                junk.drop()
+    except OutOfMemory as error:
+        return None, doomed, str(error)
+
+    reachable = vm.plan.verify()
+    retained_floor = (floor[0] or 0) * 4
+    return (reachable.live_bytes, retained_floor), doomed, ""
+
+
+def main() -> None:
+    print(f"{HEAP // 1024}KB heap; rings of garbage cross-linked across "
+          f"increments\n")
+    for collector in ("25.25", "25.25.100", "25.25.MOS", "Appel"):
+        result, doomed, failure = run(collector)
+        if result is None:
+            print(f"{collector:<10} FAILED ({failure[:60]}) after dooming "
+                  f"{doomed} bytes of cyclic garbage")
+            continue
+        reachable, floor = result
+        print(
+            f"{collector:<10} best post-GC occupancy={floor:6d}B  "
+            f"(lower = more cyclic garbage reclaimed)"
+        )
+    print(
+        "\nThe best post-collection occupancy is each collector's garbage\n"
+        "floor.  Appel reclaims the dead cycles at every major collection;\n"
+        "25.25.100 reclaims them only when its third belt has grown to all\n"
+        "usable memory and is collected en masse (lazy completeness, the\n"
+        "paper's trade-off); 25.25 carries cross-increment cycles forever\n"
+        "and fails outright in tighter heaps (the javac anecdote, §4.2.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Author your own workload: the engine behind the six SPEC benchmarks.
+
+Everything in :mod:`repro.bench` is driven by declarative
+:class:`~repro.bench.WorkloadSpec` objects.  This example writes a small
+"web server" workload from scratch — request objects that die instantly,
+session objects that live for a window of requests, an immortal routing
+table — runs it against three collectors, validates its demographics
+empirically, and prints a comparison.
+
+This is the path a downstream user takes to evaluate a collector against
+*their* application's behaviour.
+
+Run::
+
+    python examples/custom_workload.py
+"""
+
+from repro.bench import AllocSite, LifetimeClass, SyntheticMutator, WorkloadSpec
+from repro.bench.validate import finalize, observe
+from repro.runtime import VM
+
+KB = 1024
+
+
+def routing_table(engine):
+    """Immortal router: 3 chunked tables of handler objects."""
+    mu = engine.mu
+    for _ in range(3):
+        chunk = engine.alloc_immortal("refarr", length=16)
+        for i in range(16):
+            handler = engine.alloc_immortal("node")
+            mu.write(chunk, i, handler)
+
+
+def webserver_spec() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="webserver",
+        total_alloc_bytes=120 * KB,
+        sites=[
+            # request/response objects: die within the request
+            AllocSite(weight=0.55, type_name="small", lifetime="request", work=5.0),
+            # parsed headers: die with the request batch
+            AllocSite(
+                weight=0.20, type_name="refarr", lifetime="request", length=(2, 8)
+            ),
+            # sessions: live for a window of requests (middle-aged!)
+            AllocSite(weight=0.15, type_name="big", lifetime="session",
+                      link_prob=0.3, work=7.0),
+            # response buffers
+            AllocSite(
+                weight=0.10, type_name="buf", lifetime="request", length=(6, 24)
+            ),
+        ],
+        lifetimes={
+            "request": LifetimeClass("request", 0, 2 * KB),
+            "session": LifetimeClass("session", 6 * KB, 30 * KB),
+        },
+        mutation_rate=0.2,  # session table updates
+        read_rate=1.5,  # handlers read far more than they write
+        setup=routing_table,
+    )
+
+
+def main() -> None:
+    heap = 48 * KB
+    print(f"custom 'webserver' workload, {heap // KB}KB heap\n")
+    header = (f"{'collector':<12} {'GCs':>5} {'gc%':>6} {'copiedKB':>9} "
+              f"{'maxpause':>9} {'infant mortality':>17}")
+    print(header)
+    print("-" * len(header))
+    for collector in ("25.25.100", "gctk:Appel", "BOF.25"):
+        vm = VM(heap_bytes=heap, collector=collector)
+        demo = observe(vm)
+        engine = SyntheticMutator(vm, webserver_spec(), seed=2024)
+        stats = engine.run()
+        finalize(demo)
+        vm.plan.verify()
+        print(
+            f"{collector:<12} {stats.collections:>5} "
+            f"{100 * stats.gc_fraction:>5.1f}% "
+            f"{stats.copied_bytes / KB:>9.1f} {stats.max_pause_cycles:>9.0f} "
+            f"{100 * demo.infant_mortality:>16.1f}%"
+        )
+    print(
+        "\nThe sessions are the interesting population: middle-aged enough\n"
+        "to be promoted by a nursery collector, dead soon after — exactly\n"
+        "the demographic where older-first and incremental configurations\n"
+        "avoid copying work (paper §2.1, 'give objects time to die')."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Heap-size trade-off: a miniature Figure 9 for one benchmark.
+
+Sweeps one benchmark across heap sizes from its minimum to 3x the
+minimum (log-spaced, as in the paper) under Beltway 25.25.100, the
+Appel-style baseline and a fixed-size 25% nursery, then prints GC time
+and total time relative to the best observed result — the exact
+presentation of the paper's performance figures.
+
+Run::
+
+    python examples/heap_size_tradeoff.py [benchmark]
+
+(default benchmark: jess)
+"""
+
+import sys
+
+from repro.analysis.series import relative_to_best
+from repro.analysis.sweep import heap_multipliers, sweep
+from repro.analysis.tables import render_series
+from repro.harness.runner import find_min_heap
+
+COLLECTORS = ["25.25.100", "gctk:Appel", "gctk:Fixed.25"]
+SCALE = 0.5
+POINTS = 8
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "jess"
+    minimum = find_min_heap(benchmark, "gctk:Appel", scale=SCALE)
+    multipliers = heap_multipliers(POINTS)
+    print(
+        f"{benchmark}: min heap {minimum / 1024:.1f}KB, sweeping "
+        f"{POINTS} sizes up to 3x (workload scale {SCALE})\n"
+    )
+
+    gc_series = {}
+    total_series = {}
+    for collector in COLLECTORS:
+        result = sweep(benchmark, collector, minimum, multipliers, scale=SCALE)
+        gc_series[collector] = result.gc_time_series()
+        total_series[collector] = result.total_time_series()
+
+    print(render_series(
+        multipliers, relative_to_best(gc_series),
+        f"GC time relative to best ({benchmark})",
+    ))
+    print()
+    print(render_series(
+        multipliers, relative_to_best(total_series),
+        f"Total time relative to best ({benchmark})",
+    ))
+    print(
+        "\n'--' marks heap sizes where a collector could not complete —\n"
+        "fixed-size nurseries fail first as the heap tightens (Fig. 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+`pip install -e . --no-use-pep517` on offline machines.
+"""
+from setuptools import setup
+
+setup()

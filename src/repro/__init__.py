@@ -1,0 +1,66 @@
+"""repro — a faithful Python reproduction of *Beltway: Getting Around
+Garbage Collection Gridlock* (Blackburn, Jones, McKinley, Moss; PLDI 2002).
+
+The package implements, from scratch:
+
+* a simulated word-addressed heap with frames, an object model and a boot
+  image (:mod:`repro.heap`);
+* the Beltway framework itself — belts, increments, the frame write
+  barrier, per-frame-pair remembered sets, collection triggers and the
+  dynamic conservative copy reserve (:mod:`repro.core`);
+* independent baseline collectors: semi-space, Appel generational and
+  fixed-size-nursery generational (:mod:`repro.gctk`);
+* six synthetic SPEC-like workloads scaled 1024x down from the paper's
+  benchmarks (:mod:`repro.bench`);
+* a deterministic cost model and clock (:mod:`repro.sim`), analysis tools
+  including MMU curves (:mod:`repro.analysis`), and one harness entry
+  point per table/figure of the paper (:mod:`repro.harness`).
+
+Quick start::
+
+    from repro import VM, MutatorContext
+
+    vm = VM(heap_bytes=64 * 1024, collector="25.25.100")
+    node = vm.define_type("node", nrefs=2, nscalars=1)
+    mu = MutatorContext(vm)
+    head = mu.alloc(node)           # a rooted handle
+    child = mu.alloc(node)
+    mu.write(head, 0, child)        # barriered pointer store
+    stats = vm.finish()             # cost-model run statistics
+"""
+
+from .core.beltway import BeltwayHeap
+from .core.config import PAPER_CONFIGS, BeltSpec, BeltwayConfig, PromotionStyle
+from .errors import (
+    BarrierError,
+    ConfigError,
+    HeapCorruption,
+    InvalidAddress,
+    OutOfMemory,
+    ReproError,
+)
+from .runtime.mutator import MutatorContext
+from .runtime.roots import Handle
+from .runtime.vm import VM
+from .sim.stats import RunStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BarrierError",
+    "BeltSpec",
+    "BeltwayConfig",
+    "BeltwayHeap",
+    "ConfigError",
+    "Handle",
+    "HeapCorruption",
+    "InvalidAddress",
+    "MutatorContext",
+    "OutOfMemory",
+    "PAPER_CONFIGS",
+    "PromotionStyle",
+    "ReproError",
+    "RunStats",
+    "VM",
+    "__version__",
+]

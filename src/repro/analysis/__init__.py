@@ -1,0 +1,42 @@
+"""Analysis layer: sweeps, normalisation, MMU curves, table rendering."""
+
+from .mmu import (
+    default_windows,
+    max_pause,
+    mmu,
+    mmu_curve,
+    overall_utilisation,
+)
+from .series import (
+    GAP,
+    best_value,
+    geomean_across,
+    geometric_mean,
+    improvement_percent,
+    relative_to_best,
+)
+from .sweep import MAX_RATIO, PAPER_POINTS, SweepResult, heap_multipliers, sweep
+from .tables import format_bytes, render_mmu, render_series, render_table
+
+__all__ = [
+    "GAP",
+    "MAX_RATIO",
+    "PAPER_POINTS",
+    "SweepResult",
+    "best_value",
+    "default_windows",
+    "format_bytes",
+    "geomean_across",
+    "geometric_mean",
+    "heap_multipliers",
+    "improvement_percent",
+    "max_pause",
+    "mmu",
+    "mmu_curve",
+    "overall_utilisation",
+    "relative_to_best",
+    "render_mmu",
+    "render_series",
+    "render_table",
+    "sweep",
+]

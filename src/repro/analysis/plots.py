@@ -1,0 +1,82 @@
+"""ASCII line charts for figure series — the paper's plots, in a terminal.
+
+The tables produced by :mod:`repro.analysis.tables` are exact; these
+charts make the *shapes* visible at a glance: one character column per
+heap-size grid point (log x-axis, like the paper), one letter per
+collector, ``·`` where curves coincide is resolved by priority order.
+Gaps (failed runs) simply leave their column blank, reproducing the
+paper's missing-point convention for collectors that cannot run at small
+heaps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: Plot glyphs assigned to collectors in series order.
+GLYPHS = "ABCDEFGH"
+
+
+def ascii_chart(
+    multipliers: Sequence[float],
+    series: Dict[str, List[Optional[float]]],
+    title: str,
+    height: int = 14,
+    width_per_point: int = 5,
+) -> str:
+    """Render curves as an ASCII chart (lower is better, like the paper).
+
+    The y-axis spans the finite data range; each collector is drawn with a
+    letter, and a legend maps letters to collector names.
+    """
+    if not series:
+        return title + "\n(no data)"
+    values = [
+        v for curve in series.values() for v in curve if v is not None
+    ]
+    if not values:
+        return title + "\n(all runs failed)"
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        hi = lo + 1.0
+    names = list(series.keys())
+    columns = len(multipliers)
+    grid = [[" "] * (columns * width_per_point) for _ in range(height)]
+
+    def row_of(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return int(round((height - 1) * (1.0 - frac)))
+
+    for index, name in enumerate(names):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        curve = series[name]
+        for point, value in enumerate(curve):
+            if value is None:
+                continue
+            row = row_of(value)
+            col = point * width_per_point + width_per_point // 2
+            if grid[row][col] == " ":
+                grid[row][col] = glyph
+            else:
+                grid[row][col] = "*"  # curves coincide
+
+    lines = [title]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{hi:7.2f} |"
+        elif i == height - 1:
+            label = f"{lo:7.2f} |"
+        else:
+            label = "        |"
+        lines.append(label + "".join(row))
+    axis = "        +" + "-" * (columns * width_per_point)
+    lines.append(axis)
+    ticks = "         "
+    for multiplier in multipliers:
+        ticks += f"{multiplier:^{width_per_point}.2f}"
+    lines.append(ticks + "  (heap / min heap, log spaced)")
+    legend = "  ".join(
+        f"{GLYPHS[i % len(GLYPHS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append("        " + legend + "   (* = curves coincide)")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Series arithmetic for the paper's figures.
+
+Every performance plot in the paper shows time *relative to the best
+result in the figure* (left axis) against *heap size relative to the
+minimum heap size* (log x-axis), and multi-benchmark figures use the
+geometric mean across the six benchmarks.  These helpers implement that
+presentation exactly, including the paper's convention that failed runs
+(collector could not complete at that heap size) simply leave a gap in
+the curve.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: Value used for gaps (runs that failed at that heap size).
+GAP = None
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on empty or non-positive input."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geometric mean requires positive values: {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def geomean_across(series_list: Sequence[Sequence[Optional[float]]]) -> List[Optional[float]]:
+    """Pointwise geometric mean of aligned series; a gap in any input
+    leaves a gap in the mean (the paper's missing-point convention)."""
+    if not series_list:
+        return []
+    length = len(series_list[0])
+    if any(len(s) != length for s in series_list):
+        raise ValueError("series are not aligned")
+    out: List[Optional[float]] = []
+    for i in range(length):
+        column = [s[i] for s in series_list]
+        if any(v is None for v in column):
+            out.append(GAP)
+        else:
+            out.append(geometric_mean(column))
+    return out
+
+
+def relative_to_best(series: Dict[str, List[Optional[float]]]) -> Dict[str, List[Optional[float]]]:
+    """Normalise every curve by the single best (lowest) value in the
+    figure, so the best point sits at 1.0 (the paper's left axes)."""
+    best = None
+    for values in series.values():
+        for v in values:
+            if v is not None and (best is None or v < best):
+                best = v
+    if best is None or best <= 0:
+        return {name: list(values) for name, values in series.items()}
+    return {
+        name: [None if v is None else v / best for v in values]
+        for name, values in series.items()
+    }
+
+
+def best_value(series: Dict[str, List[Optional[float]]]) -> Optional[float]:
+    """The figure-wide best (minimum) value, or None if all gaps."""
+    values = [
+        v for curve in series.values() for v in curve if v is not None
+    ]
+    return min(values) if values else None
+
+
+def improvement_percent(baseline: float, contender: float) -> float:
+    """How much faster ``contender`` is than ``baseline``, as a percent of
+    baseline (the paper's "up to 40%, on average 5 to 10%" phrasing)."""
+    return 100.0 * (baseline - contender) / baseline

@@ -1,0 +1,98 @@
+"""Heap-size sweeps: the x-axis of every figure in the paper.
+
+The paper ran each program "on 33 heap sizes, ranging from the smallest
+one in which the program completes up to 3 times that size" (§4.1), with
+a log-scaled x-axis.  :func:`heap_multipliers` reproduces that grid (the
+point count is configurable so the quick benchmark targets can use a
+coarser grid), and :func:`sweep` executes one collector across it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..runtime.vm import EXPERIMENT_FRAME_SHIFT
+from ..sim.stats import RunStats
+
+FRAME_BYTES = 1 << EXPERIMENT_FRAME_SHIFT
+
+#: The paper's grid size.
+PAPER_POINTS = 33
+#: The paper's largest heap, relative to the minimum.
+MAX_RATIO = 3.0
+
+
+def heap_multipliers(points: int = PAPER_POINTS, max_ratio: float = MAX_RATIO) -> List[float]:
+    """Log-spaced multipliers from 1.0 to ``max_ratio`` inclusive."""
+    if points < 2:
+        raise ValueError("a sweep needs at least two points")
+    step = max_ratio ** (1.0 / (points - 1))
+    return [step ** i for i in range(points)]
+
+
+@dataclass
+class SweepResult:
+    """All runs of one (benchmark, collector) across the heap grid."""
+
+    benchmark: str
+    collector: str
+    min_heap_bytes: int
+    multipliers: List[float]
+    runs: List[RunStats] = field(default_factory=list)
+
+    @property
+    def heap_sizes(self) -> List[int]:
+        return [r.heap_bytes for r in self.runs]
+
+    def series(self, metric: str) -> List[Optional[float]]:
+        """Metric values aligned with the grid; failed runs become gaps."""
+        out: List[Optional[float]] = []
+        for run in self.runs:
+            if not run.completed:
+                out.append(None)
+                continue
+            value = getattr(run, metric)
+            out.append(float(value))
+        return out
+
+    def total_time_series(self) -> List[Optional[float]]:
+        return self.series("total_cycles")
+
+    def gc_time_series(self) -> List[Optional[float]]:
+        return self.series("gc_cycles")
+
+    def gc_fraction_series(self) -> List[Optional[float]]:
+        return self.series("gc_fraction")
+
+
+def sweep(
+    benchmark: str,
+    collector: str,
+    min_heap_bytes: int,
+    multipliers: Sequence[float],
+    scale: float = 1.0,
+    seed: int = 13,
+) -> SweepResult:
+    """Run ``collector`` on ``benchmark`` at every heap size in the grid.
+
+    Heap sizes are rounded to frame granularity; the minimum is the
+    *benchmark's* minimum (under the baseline collector), so collectors
+    with smaller minima simply succeed below 1.0× and collectors with
+    larger minima leave gaps — exactly how the paper's figures read.
+    """
+    from ..harness.runner import run_benchmark  # local: avoids import cycle
+
+    result = SweepResult(
+        benchmark=benchmark,
+        collector=collector,
+        min_heap_bytes=min_heap_bytes,
+        multipliers=list(multipliers),
+    )
+    for multiplier in multipliers:
+        heap = int(min_heap_bytes * multiplier)
+        heap = max(2 * FRAME_BYTES, (heap // FRAME_BYTES) * FRAME_BYTES)
+        result.runs.append(
+            run_benchmark(benchmark, collector, heap, scale=scale, seed=seed)
+        )
+    return result

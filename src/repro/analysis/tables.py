@@ -1,0 +1,78 @@
+"""Console rendering of the paper's tables and figure series.
+
+The harness prints each reproduced artefact as text: Table 1 as the
+paper's row layout, figures as aligned columns of (heap multiplier,
+value-per-collector) — "the same rows/series the paper reports", readable
+in a terminal and easy to diff between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..bench.spec import KB
+
+
+def format_bytes(nbytes: int) -> str:
+    if nbytes >= 1024 * KB:
+        return f"{nbytes / (1024 * KB):.1f}MB"
+    return f"{nbytes / KB:.1f}KB"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Monospace table with per-column widths."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    multipliers: Sequence[float],
+    series: Dict[str, List[Optional[float]]],
+    title: str,
+    value_format: str = "{:.3f}",
+    gap: str = "  --  ",
+) -> str:
+    """A figure as text: one row per heap size, one column per collector."""
+    headers = ["heap/min"] + list(series.keys())
+    rows = []
+    for i, multiplier in enumerate(multipliers):
+        row = [f"{multiplier:6.2f}x"]
+        for name in series:
+            value = series[name][i]
+            row.append(gap if value is None else value_format.format(value))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_mmu(
+    curves: Dict[str, List[tuple]],
+    title: str,
+) -> str:
+    """MMU curves as text: rows are window sizes, columns collectors."""
+    names = list(curves.keys())
+    windows = [w for w, _ in curves[names[0]]]
+    headers = ["window"] + names
+    rows = []
+    for i, window in enumerate(windows):
+        row = [f"{window:12.0f}"]
+        for name in names:
+            row.append(f"{curves[name][i][1]:.3f}")
+        rows.append(row)
+    return render_table(headers, rows, title=title)

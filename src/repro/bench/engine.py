@@ -1,0 +1,316 @@
+"""The synthetic-mutator engine driving every benchmark workload.
+
+A :class:`WorkloadSpec` declares a benchmark's demographics — allocation
+sites with size and lifetime distributions, pointer-mutation and read
+rates, cyclic-garbage construction, phase boundaries and a locality model.
+The engine executes the spec deterministically against a VM: it is a real
+mutator (rooted handles, barriered stores) whose behaviour the collectors
+observe exactly as they would a Java program's.
+
+The collector-relevant levers, mapped to the paper's five key ideas
+(§2.1):
+
+* infant mortality  ← ``immediate``/``short`` lifetime classes;
+* old objects       ← ``immortal`` setup structures and ``long`` classes;
+* time to die       ← ``medium`` classes (the older-first sweet spot);
+* pointer tracking  ← ``link_prob`` (old→young edges) and
+  ``mutation_rate`` (random pointer shuffling);
+* completeness      ← ``cycle_every_bytes`` rings that die together after
+  aging across increments (javac's cyclic structures, §4.2.4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..heap.address import WORD_BYTES
+from ..runtime.mutator import MutatorContext
+from ..runtime.roots import Handle
+from ..runtime.vm import VM
+from ..sim.locality import NO_LOCALITY, LocalityModel
+from ..sim.stats import RunStats
+from .lifetime import DeathSchedule, LifetimeClass
+
+#: Shared object vocabulary (word sizes include the 3-word header).
+STANDARD_TYPES: Tuple[Tuple[str, int, int], ...] = (
+    ("small", 1, 2),  # 6 words / 24 B — cons cells, iterator cursors
+    ("node", 3, 2),  # 8 words / 32 B — typical small Java object
+    ("big", 4, 9),  # 16 words / 64 B — records, transaction objects
+)
+
+
+@dataclass(frozen=True)
+class AllocSite:
+    """One allocation site of a workload."""
+
+    weight: float
+    type_name: str  # "small" | "node" | "big" | "refarr" | "buf"
+    lifetime: str  # key into WorkloadSpec.lifetimes
+    length: Tuple[int, int] = (0, 0)  # array length range
+    link_prob: float = 0.0  # P(an existing live object points at me)
+    work: float = 4.0  # mutator computation per allocation
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """The paper's Table 1 characterisation (already scaled to our units)."""
+
+    min_heap_bytes: int
+    total_alloc_bytes: int
+    gcs_large_heap: int
+    gcs_small_heap: int
+    description: str = ""
+
+
+@dataclass
+class WorkloadSpec:
+    """Complete declarative description of one benchmark."""
+
+    name: str
+    total_alloc_bytes: int
+    sites: List[AllocSite]
+    lifetimes: Dict[str, LifetimeClass]
+    mutation_rate: float = 0.0  # pointer shuffles per allocation
+    read_rate: float = 0.0  # field reads per allocation
+    cycle_every_bytes: int = 0  # build a doomed ring every N bytes
+    cycle_size: int = 0
+    cycle_lifetime: str = "medium"
+    phase_bytes: int = 0  # phase boundary period (0 = none)
+    phase_drop_fraction: float = 0.0  # fraction of scheduled killed there
+    setup: Optional[Callable[["SyntheticMutator"], None]] = None
+    locality: LocalityModel = NO_LOCALITY
+    paper: Optional[Table1Row] = None
+
+    def __post_init__(self) -> None:
+        from ..errors import ConfigError
+
+        if self.total_alloc_bytes <= 0:
+            raise ConfigError(f"{self.name}: total_alloc_bytes must be positive")
+        if not self.sites:
+            raise ConfigError(f"{self.name}: a workload needs allocation sites")
+        total_weight = sum(site.weight for site in self.sites)
+        if total_weight <= 0:
+            raise ConfigError(f"{self.name}: site weights must sum > 0")
+        for site in self.sites:
+            if site.weight < 0:
+                raise ConfigError(f"{self.name}: negative site weight")
+            if site.lifetime not in self.lifetimes:
+                raise ConfigError(
+                    f"{self.name}: site lifetime {site.lifetime!r} is not "
+                    f"defined (have {sorted(self.lifetimes)})"
+                )
+        if self.cycle_every_bytes and self.cycle_size <= 1:
+            raise ConfigError(f"{self.name}: cycles need cycle_size >= 2")
+        if self.cycle_every_bytes and self.cycle_lifetime not in self.lifetimes:
+            raise ConfigError(
+                f"{self.name}: cycle lifetime {self.cycle_lifetime!r} undefined"
+            )
+        if self.phase_bytes and not 0 <= self.phase_drop_fraction <= 1:
+            raise ConfigError(
+                f"{self.name}: phase_drop_fraction must be in [0, 1]"
+            )
+
+    def scaled(self, factor: float) -> "WorkloadSpec":
+        """A copy with allocation volume scaled by ``factor``.
+
+        Phase boundaries scale with it so the run keeps its number of
+        phases (a 0.5x javac still compiles four times, each half as
+        long); lifetimes and live-set sizes are *not* scaled — the factor
+        shortens the run, it does not change the heap shape."""
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            total_alloc_bytes=int(self.total_alloc_bytes * factor),
+            phase_bytes=int(self.phase_bytes * factor),
+        )
+
+
+class SyntheticMutator:
+    """Executes a WorkloadSpec against a VM."""
+
+    def __init__(self, vm: VM, spec: WorkloadSpec, seed: int = 13):
+        self.vm = vm
+        self.spec = spec
+        self.rng = random.Random(seed)
+        self.mu = MutatorContext(vm)
+        self.schedule = DeathSchedule()
+        self.immortals: List[Handle] = []
+        self.allocated_bytes = 0
+        self._ensure_types()
+        self._weights = [site.weight for site in spec.sites]
+        self._next_cycle = spec.cycle_every_bytes
+        self._next_phase = spec.phase_bytes
+        self.cycles_built = 0
+        self.phases_completed = 0
+
+    # ------------------------------------------------------------------
+    def _ensure_types(self) -> None:
+        existing = {d.name for d in self.vm.types}
+        for name, nrefs, nscalars in STANDARD_TYPES:
+            if name not in existing:
+                self.vm.define_type(name, nrefs=nrefs, nscalars=nscalars)
+        if "refarr" not in existing:
+            self.vm.define_ref_array("refarr")
+        if "buf" not in existing:
+            self.vm.define_scalar_array("buf")
+
+    # ------------------------------------------------------------------
+    # Allocation helpers
+    # ------------------------------------------------------------------
+    def alloc_site(self, site: AllocSite) -> Handle:
+        desc = self.vm.types.by_name(site.type_name)
+        length = 0
+        if site.length != (0, 0):
+            length = self.rng.randint(*site.length)
+        handle = self.mu.alloc(desc, length)
+        self.allocated_bytes += desc.size_words(length) * WORD_BYTES
+        return handle
+
+    def alloc_immortal(self, type_name: str, length: int = 0) -> Handle:
+        """Setup-time allocation pinned for the whole run."""
+        desc = self.vm.types.by_name(type_name)
+        handle = self.mu.alloc(desc, length)
+        self.allocated_bytes += desc.size_words(length) * WORD_BYTES
+        self.immortals.append(handle)
+        return handle
+
+    def _random_slot(self, handle: Handle) -> int:
+        desc = self.vm.model.type_of(handle.addr)
+        count = desc.ref_count(self.vm.model.length_of(handle.addr))
+        return self.rng.randrange(count) if count else -1
+
+    def _random_live(self, include_immortals: bool = True) -> Optional[Handle]:
+        pool = (len(self.immortals) if include_immortals else 0) + len(self.schedule)
+        if pool == 0:
+            return None
+        if include_immortals and self.rng.randrange(pool) < len(self.immortals):
+            return self.rng.choice(self.immortals)
+        picks = self.schedule.peek_handles(self.rng, 1)
+        return picks[0] if picks else None
+
+    def link_from_live(self, target: Handle) -> None:
+        """Make a random *mortal* live object point at ``target``.
+
+        Holders are drawn from the death-scheduled population only: a
+        pointer from an immortal would retain its target (and the target's
+        whole subtree) for the rest of the run, which no SPEC benchmark
+        does by accident.  Mortal holders still produce old→young pointers
+        once promoted — the traffic the write barriers exist for."""
+        holder = self._random_live(include_immortals=False)
+        if holder is None or holder.is_null:
+            return
+        slot = self._random_slot(holder)
+        if slot >= 0:
+            self.mu.write(holder, slot, target)
+
+    # ------------------------------------------------------------------
+    # Behaviours
+    # ------------------------------------------------------------------
+    def _mutate_pointers(self) -> None:
+        a = self._random_live(include_immortals=False)
+        b = self._random_live()
+        if a is None or b is None or a.is_null or b.is_null:
+            return
+        slot = self._random_slot(a)
+        if slot >= 0:
+            self.mu.write(a, slot, b)
+
+    def _read_fields(self) -> None:
+        a = self._random_live()
+        if a is None or a.is_null:
+            return
+        slot = self._random_slot(a)
+        if slot >= 0:
+            self.mu.read_addr(a, slot)
+
+    def _build_cycle(self) -> None:
+        """Grow a cyclic structure whose members span *increments*.
+
+        Each call allocates a small ring and cross-links it with the ring
+        built ``cycle_every_bytes`` of allocation earlier — far enough
+        apart that the two generations of ring nodes are promoted by
+        different nursery collections into different belt-1 increments.
+        The resulting dead structure is cyclic across increments: complete
+        configurations reclaim it when the top belt is collected en masse;
+        Beltway X.X never does (the javac anecdote of §4.2.4).
+        """
+        spec = self.spec
+        death = spec.lifetimes[spec.cycle_lifetime].sample(self.rng)
+        nodes = []
+        desc = self.vm.types.by_name("node")
+        for _ in range(spec.cycle_size):
+            handle = self.mu.alloc(desc)
+            self.allocated_bytes += desc.size_words() * WORD_BYTES
+            nodes.append(handle)
+        for i, handle in enumerate(nodes):
+            self.mu.write(handle, 0, nodes[(i + 1) % len(nodes)])
+        pending = getattr(self, "_pending_cycle_entry", None)
+        if pending is not None and not pending.is_null:
+            # Cross-increment back edges: this ring <-> the ring built one
+            # cycle period earlier.  Rings pair up (and only pair up — a
+            # longer chain would keep the whole history alive through the
+            # always-rooted newest ring), so each dead pair is an isolated
+            # cycle spanning two increments.
+            self.mu.write(nodes[0], 1, pending)
+            self.mu.write(pending, 1, nodes[0])
+            pending.drop()
+            self._pending_cycle_entry = None
+        else:
+            self._pending_cycle_entry = self.mu.copy_handle(nodes[0])
+        for handle in nodes:
+            if death is None:
+                self.immortals.append(handle)
+            else:
+                self.schedule.schedule(self.allocated_bytes + death, handle)
+        self.cycles_built += 1
+
+    def _phase_boundary(self) -> None:
+        """End of a compiler iteration / parser run / transaction batch."""
+        self.schedule.drop_fraction(self.rng, self.spec.phase_drop_fraction)
+        self.phases_completed += 1
+        self.mu.work(64.0)  # per-phase bookkeeping computation
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunStats:
+        spec = self.spec
+        rng = self.rng
+        if spec.setup is not None:
+            spec.setup(self)
+        sites = spec.sites
+        while self.allocated_bytes < spec.total_alloc_bytes:
+            site = rng.choices(sites, weights=self._weights)[0]
+            handle = self.alloc_site(site)
+            if site.type_name in ("small", "node", "big"):
+                self.mu.write_int(handle, 0, self.allocated_bytes & 0x7FFFFFFF)
+            if site.link_prob and rng.random() < site.link_prob:
+                self.link_from_live(handle)
+            death = spec.lifetimes[site.lifetime].sample(rng)
+            if death is None:
+                self.immortals.append(handle)
+            else:
+                self.schedule.schedule(self.allocated_bytes + death, handle)
+            if spec.mutation_rate and rng.random() < spec.mutation_rate:
+                self._mutate_pointers()
+            # rates above 1.0 mean several operations per allocation
+            whole, frac = divmod(spec.read_rate, 1.0)
+            for _ in range(int(whole)):
+                self._read_fields()
+            if frac and rng.random() < frac:
+                self._read_fields()
+            if spec.cycle_every_bytes and self.allocated_bytes >= self._next_cycle:
+                self._build_cycle()
+                self._next_cycle += spec.cycle_every_bytes
+            if spec.phase_bytes and self.allocated_bytes >= self._next_phase:
+                self._phase_boundary()
+                self._next_phase += spec.phase_bytes
+            self.mu.work(site.work)
+            self.schedule.reap(self.allocated_bytes)
+        return self.vm.finish()
+
+    # ------------------------------------------------------------------
+    @property
+    def live_objects(self) -> int:
+        return len(self.immortals) + len(self.schedule)

@@ -1,0 +1,51 @@
+"""The Beltway garbage-collection framework (the paper's contribution).
+
+Belts group increments in FIFO queues; increments are collected
+independently; configurations selected "from the command line" reproduce
+semi-space, Appel generational, fixed-nursery, older-first and older-first
+mix collectors, plus the paper's new Beltway X.X and X.X.100 designs.
+"""
+
+from .barrier import BarrierStats, FrameBarrier
+from .belt import Belt, Increment
+from .beltway import BeltwayHeap
+from .collector import CollectionResult, Collector
+from .config import PAPER_CONFIGS, BeltSpec, BeltwayConfig, PromotionStyle
+from .mos import MOSPolicy, Train
+from .order import restamp
+from .policy import (
+    GenerationalPolicy,
+    OlderFirstMixPolicy,
+    OlderFirstPolicy,
+    Policy,
+    make_policy,
+)
+from .remset import RememberedSets
+from .reserve import SLACK_FRAMES, required_reserve_frames
+from .triggers import Triggers
+
+__all__ = [
+    "BarrierStats",
+    "Belt",
+    "BeltSpec",
+    "BeltwayConfig",
+    "BeltwayHeap",
+    "CollectionResult",
+    "Collector",
+    "FrameBarrier",
+    "GenerationalPolicy",
+    "Increment",
+    "MOSPolicy",
+    "OlderFirstMixPolicy",
+    "OlderFirstPolicy",
+    "PAPER_CONFIGS",
+    "Policy",
+    "PromotionStyle",
+    "RememberedSets",
+    "SLACK_FRAMES",
+    "Train",
+    "Triggers",
+    "make_policy",
+    "required_reserve_frames",
+    "restamp",
+]

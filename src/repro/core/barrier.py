@@ -1,0 +1,96 @@
+"""The frame-based, unidirectional Beltway write barrier (paper Fig. 4).
+
+The Java original::
+
+    public static final void writeBarrier(ADDRESS source, ADDRESS target) {
+        int s = (source >>> FRAME_SIZE_LOG);
+        int t = (target >>> FRAME_SIZE_LOG);
+        if ((s != t)                                  // pointer is inter-frame
+            && (Belt.collect_[t] < Belt.collect_[s])) {
+            // target will be collected before source
+            int rsidx = (s << REMSET_SHIFT) | t;
+            GCTk_RememberedSet.insert(rsidx, source);
+        }
+    }
+
+is transcribed below, with the flat ``orders`` table of the address space
+playing the role of ``Belt.collect_[]``.  The barrier is *not*
+address-ordered (unlike the Appel baseline's boundary barrier) but it is
+unidirectional with respect to frames: only pointers into sooner-collected
+frames are recorded.  Boot-image frames carry an infinite order, so
+boot→heap pointers are always recorded and TIB-pointer stores (heap→boot)
+never are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..heap.space import AddressSpace
+from .remset import RememberedSets
+
+
+@dataclass
+class BarrierStats:
+    """Fast/slow-path counts, mirroring the paper's statistics runs."""
+
+    fast_path: int = 0  # barrier executed (every reference store)
+    slow_path: int = 0  # remset insert performed
+    null_stores: int = 0  # stores of NULL (filtered before the compare)
+
+    @property
+    def slow_fraction(self) -> float:
+        return self.slow_path / self.fast_path if self.fast_path else 0.0
+
+    def reset(self) -> None:
+        self.fast_path = 0
+        self.slow_path = 0
+        self.null_stores = 0
+
+
+class FrameBarrier:
+    """Write barrier + store, bound to one address space and remset table."""
+
+    def __init__(self, space: AddressSpace, remsets: RememberedSets):
+        self.space = space
+        self.remsets = remsets
+        self.stats = BarrierStats()
+
+    def write_ref(self, source_obj: int, slot_addr: int, target: int) -> None:
+        """Store ``target`` into ``slot_addr`` of ``source_obj``, remembering
+        the pointer when the target frame is collected before the source's.
+        """
+        space = self.space
+        shift = space.frame_shift
+        self.stats.fast_path += 1
+        if target == 0:
+            self.stats.null_stores += 1
+            space.store(slot_addr, target)
+            return
+        s = source_obj >> shift
+        t = target >> shift
+        if s != t:  # pointer is inter-frame
+            orders = space.orders
+            if orders[t] < orders[s]:
+                # target will be collected before source
+                self.stats.slow_path += 1
+                self.remsets.insert(s, t, slot_addr)
+        space.store(slot_addr, target)
+
+    def record_collector_pointer(self, source_obj: int, slot_addr: int, target: int) -> None:
+        """Barrier check without the store, for pointers the collector has
+        already written while copying (scan-time remset maintenance).
+
+        Not counted as mutator barrier activity: Jikes RVM's copy loop does
+        this work inside the collector, not via the mutator barrier.
+        """
+        if target == 0:
+            return
+        space = self.space
+        shift = space.frame_shift
+        s = source_obj >> shift
+        t = target >> shift
+        if s != t:
+            orders = space.orders
+            if orders[t] < orders[s]:
+                self.remsets.insert(s, t, slot_addr)

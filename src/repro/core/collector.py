@@ -1,0 +1,256 @@
+"""The Beltway copying collector: forward, copy, scan, promote.
+
+One ``collect`` call collects a *batch* of increments together (usually a
+single increment; the scheduling policy batches a lower-belt increment with
+the next belt's oldest when promotion would immediately force that
+collection anyway — the paper's collect-together optimisation, which also
+lets the remsets *between* the batched increments be ignored).
+
+The algorithm is a breadth-first copying trace (Cheney order, explicit
+FIFO worklist):
+
+1. roots = mutator root slots + every remembered slot pointing into the
+   collected frames from outside them;
+2. forwarding: the first visit to a from-space object copies it to its
+   promotion destination and installs a forwarding pointer in its status
+   word; later visits just read the forwarding pointer;
+3. scanning a copied object forwards its from-space referents and re-runs
+   the barrier check for its other pointers, because copying changed the
+   pointer's *source* frame (remsets sourced in collected frames are
+   dropped wholesale afterwards);
+4. collected frames are released, remsets into/out of them deleted, and
+   the frames restamped in the new predicted collection order.
+
+Copy allocation is allowed to consume the copy reserve — that is what the
+reserve is for — but a hard budget exhaustion raises ``OutOfMemory``,
+which the harness reads as "this heap size is below the configuration's
+minimum" (Table 1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set
+
+from ..errors import HeapCorruption
+from .belt import Increment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .beltway import BeltwayHeap
+
+
+@dataclass
+class CollectionResult:
+    """Work counters for one collection, consumed by the cost model."""
+
+    reason: str
+    collection_id: int = 0
+    increments_collected: int = 0
+    belts_collected: tuple = ()
+    from_frames: int = 0
+    from_words: int = 0  # allocated words in the collected increments
+    freed_frames: int = 0
+    copied_objects: int = 0
+    copied_words: int = 0
+    scanned_objects: int = 0
+    scanned_ref_slots: int = 0
+    root_slots: int = 0
+    remset_slots: int = 0
+    remset_entries_dropped: int = 0
+    was_full_heap: bool = False
+    #: Boot-image slots rescanned by collectors that do not remember
+    #: boot→heap pointers (the gctk Appel baseline; Beltway leaves this 0).
+    boot_slots_scanned: int = 0
+
+    @property
+    def survival_rate(self) -> float:
+        """Fraction of collected (allocated) words that survived."""
+        return self.copied_words / self.from_words if self.from_words else 0.0
+
+
+class Collector:
+    """Stateless-between-collections copying machinery for a BeltwayHeap."""
+
+    def __init__(self, heap: "BeltwayHeap"):
+        self.heap = heap
+        self._collections = 0
+
+    # ------------------------------------------------------------------
+    def collect(self, batch: List[Increment], reason: str) -> CollectionResult:
+        heap = self.heap
+        space = heap.space
+        model = heap.model
+        if not batch:
+            raise HeapCorruption("collect() called with an empty batch")
+        self._collections += 1
+        result = CollectionResult(reason=reason, collection_id=self._collections)
+        result.increments_collected = len(batch)
+        result.belts_collected = tuple(sorted({inc.belt.index for inc in batch}))
+        from_frames: Set[int] = set()
+        for inc in batch:
+            from_frames.update(inc.frame_indices())
+            result.from_words += inc.region.allocated_words
+        result.from_frames = len(from_frames)
+        # "Full heap" in the generational sense: a *growable* top belt is
+        # collected en masse.  Every BSS collection is full-heap; X.X and
+        # X.X.MOS (bounded top increments) never perform one; OF-style
+        # policies never perform one either (their incompleteness, §2.2).
+        top_spec = heap.config.belts[heap.config.top_belt]
+        result.was_full_heap = (
+            not heap.policy.copies_into_allocation_increment
+            and heap.config.style.value == "generational"
+            and top_spec.growable
+            and heap.config.top_belt in result.belts_collected
+        )
+
+        from_increment: Dict[int, Increment] = {}
+        for inc in batch:
+            for index in inc.frame_indices():
+                from_increment[index] = inc
+
+        dests: Dict[object, Increment] = {}  # dest key -> open destination
+        worklist: Deque = deque()  # (copied addr, dest context)
+        shift = space.frame_shift
+        policy = heap.policy
+
+        # -- forwarding --------------------------------------------------
+        # ``ctx`` is an opaque destination context: None for ordinary
+        # belt-target promotion; train-aware policies (the MOS top belt)
+        # return contexts that route an object to its referrer's train,
+        # and copied objects pass their context on to their children.
+        def forward(obj: int, ctx) -> int:
+            if model.is_forwarded(obj):
+                return model.forwarding_address(obj)
+            size = model.size_words(obj)
+            source_inc = from_increment[obj >> shift]
+            new_addr = self._copy_alloc(source_inc, size, dests, from_frames, ctx)
+            model.copy_words(obj, new_addr, size)
+            model.set_forwarding(obj, new_addr)
+            worklist.append((new_addr, ctx))
+            result.copied_objects += 1
+            result.copied_words += size
+            return new_addr
+
+        # -- roots: mutator root arrays -----------------------------------
+        root_ctx = policy.root_dest_context(heap, from_frames)
+        for array in heap.root_arrays:
+            for i, value in enumerate(array):
+                result.root_slots += 1
+                if value and (value >> shift) in from_frames:
+                    array[i] = forward(value, root_ctx)
+
+        # -- roots: remembered slots into the collected frames ------------
+        # Slots inside the collected frames themselves are excluded: their
+        # objects are copied and re-scanned, and remsets between increments
+        # collected together are deliberately ignored (§3.3.2).
+        remset_slots = list(heap.remsets.slots_into(from_frames, from_frames))
+        barrier = heap.barrier
+        for slot in remset_slots:
+            result.remset_slots += 1
+            target = space.load(slot)
+            if target and (target >> shift) in from_frames:
+                ctx = policy.slot_dest_context(heap, slot, from_frames)
+                new_target = forward(target, ctx)
+                space.store(slot, new_target)
+                # The pair for the old target frame is dropped below, so
+                # re-record the pointer against the destination frame.
+                barrier.record_collector_pointer(slot, slot, new_target)
+
+        # -- transitive closure (Cheney order) -----------------------------
+        while worklist:
+            obj, ctx = worklist.popleft()
+            result.scanned_objects += 1
+            for slot in model.iter_ref_slot_addrs(obj):
+                result.scanned_ref_slots += 1
+                target = space.load(slot)
+                if not target:
+                    continue
+                if (target >> shift) in from_frames:
+                    target = forward(target, ctx)
+                    space.store(slot, target)
+                barrier.record_collector_pointer(obj, slot, target)
+
+        # -- reclaim -------------------------------------------------------
+        result.remset_entries_dropped = heap.remsets.drop_frames(from_frames)
+        for inc in batch:
+            for frame in list(inc.region.frames):
+                space.release_frame(frame)
+                result.freed_frames += 1
+            inc.belt.remove(inc)
+        heap.note_increments_removed(batch)
+        heap.restamp()
+        heap.policy.after_collection(heap)
+        if heap.debug_verify:
+            heap.verify()
+        return result
+
+    # ------------------------------------------------------------------
+    def _copy_alloc(
+        self,
+        source_inc: Increment,
+        size_words: int,
+        dests: Dict[object, Increment],
+        from_frames: Set[int],
+        ctx,
+    ) -> int:
+        """Allocate ``size_words`` in the destination for ``source_inc``."""
+        heap = self.heap
+        policy = heap.policy
+        belt_index = self._target_belt(source_inc)
+        if policy.manages_belt(belt_index):
+            # The destination belt is policy-managed (MOS trains): route
+            # through the referrer's context, or the external context for
+            # promotions arriving from below.
+            if ctx is None:
+                ctx = policy.external_dest_context(heap, from_frames)
+            return policy.copy_alloc_in_context(
+                heap, ctx, size_words, from_frames
+            )
+        # Contexts only steer policy-managed belts; an object bound for an
+        # ordinary belt (e.g. a nursery child of a train-resident object in
+        # a combined batch) follows its normal promotion target.
+        dest = dests.get(belt_index)
+        if dest is None:
+            dest = self._choose_dest(belt_index, from_frames)
+            dests[belt_index] = dest
+        while True:
+            addr = dest.alloc(size_words)
+            if addr:
+                dest.copied_in_words += size_words
+                return addr
+            if not dest.at_max_size:
+                dest.add_frame()  # may raise OutOfMemory: reserve exhausted
+                continue
+            # Destination increment is full: overflow into a fresh one.
+            dest = heap.open_increment(heap.belts[belt_index])
+            dests[belt_index] = dest
+
+    def _target_belt(self, source_inc: Increment) -> int:
+        policy = self.heap.policy
+        if policy.copies_into_allocation_increment:
+            return self.heap.policy.allocation_belt_index(self.heap)
+        return policy.target_belt_index(source_inc.belt.index)
+
+    def _choose_dest(self, belt_index: int, from_frames: Set[int]) -> Increment:
+        """Youngest open increment of the target belt not being collected,
+        else a fresh increment."""
+        heap = self.heap
+        belt = heap.belts[belt_index]
+        if heap.policy.copies_into_allocation_increment:
+            candidate = heap.allocation_increment
+            if (
+                candidate is not None
+                and candidate.belt.index == belt_index
+                and not candidate.frame_indices() & from_frames
+            ):
+                return candidate
+            return heap.open_increment(belt)
+        candidate = belt.youngest()
+        if (
+            candidate is not None
+            and not candidate.at_max_size
+            and not candidate.frame_indices() & from_frames
+        ):
+            return candidate
+        return heap.open_increment(belt)

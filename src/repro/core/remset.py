@@ -1,0 +1,87 @@
+"""Per-frame-pair remembered sets (paper §3.3.2).
+
+Beltway keeps a *distinct* remembered set for every (source frame, target
+frame) pair.  This buys two cheap operations the paper relies on:
+
+* when a frame is collected or released, every remset into or out of it can
+  be deleted wholesale;
+* when two increments are collected together, the remsets between them are
+  simply ignored (never consulted) rather than filtered entry by entry.
+
+Entries are *slot addresses* (the address of the field the pointer was
+stored into).  At collection time each slot is re-read, so stale entries —
+the field was later overwritten — cost one load and are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Set, Tuple
+
+
+class RememberedSets:
+    """All remsets of one collector, keyed by (src_frame, tgt_frame)."""
+
+    def __init__(self) -> None:
+        self._sets: Dict[Tuple[int, int], Set[int]] = {}
+        self.total_entries = 0
+        #: Monotonic counters for the statistics runs (§4.1).
+        self.inserts = 0
+        self.duplicate_inserts = 0
+
+    # ------------------------------------------------------------------
+    def insert(self, src_frame: int, tgt_frame: int, slot_addr: int) -> None:
+        """Remember that ``slot_addr`` (in src) points into tgt."""
+        key = (src_frame, tgt_frame)
+        entries = self._sets.get(key)
+        if entries is None:
+            entries = set()
+            self._sets[key] = entries
+        self.inserts += 1
+        if slot_addr in entries:
+            self.duplicate_inserts += 1
+        else:
+            entries.add(slot_addr)
+            self.total_entries += 1
+
+    def slots_into(
+        self, target_frames: Set[int], exclude_sources: Set[int]
+    ) -> Iterator[int]:
+        """All remembered slots pointing into ``target_frames`` whose source
+        frame is *not* in ``exclude_sources``.
+
+        ``exclude_sources`` is normally the collected frame set itself: slots
+        inside from-space objects are dead (their objects are copied and the
+        copies re-scanned), and remsets *between* increments collected
+        together are ignored per the paper's optimisation.
+        """
+        for (src, tgt), entries in self._sets.items():
+            if tgt in target_frames and src not in exclude_sources:
+                yield from entries
+
+    def drop_frames(self, frames: Set[int]) -> int:
+        """Delete every remset whose source or target frame is in ``frames``.
+
+        Returns the number of entries dropped.
+        """
+        doomed = [
+            key for key in self._sets if key[0] in frames or key[1] in frames
+        ]
+        dropped = 0
+        for key in doomed:
+            dropped += len(self._sets[key])
+            del self._sets[key]
+        self.total_entries -= dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    def pairs(self) -> Iterable[Tuple[int, int]]:
+        return self._sets.keys()
+
+    def entries_for_pair(self, src_frame: int, tgt_frame: int) -> Set[int]:
+        return self._sets.get((src_frame, tgt_frame), set())
+
+    def __len__(self) -> int:
+        return self.total_entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RememberedSets pairs={len(self._sets)} entries={self.total_entries}>"

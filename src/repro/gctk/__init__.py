@@ -1,0 +1,45 @@
+"""Independent baseline collectors (the paper's GCTk comparison points).
+
+Selected from the VM with the ``"gctk:"`` prefix:
+
+* ``gctk:SS`` — classic semi-space
+* ``gctk:Appel`` — flexible-nursery generational [Appel 1989]
+* ``gctk:Fixed.25`` — fixed-size-nursery generational (25% of usable)
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ConfigError
+from .appel import AppelGctk
+from .base import GctkPlan
+from .copying import cheney_trace
+from .fixednursery import FixedNurseryGctk
+from .semispace import SemiSpaceGctk
+from .ssb import BoundaryBarrier, SequentialStoreBuffer
+
+
+def make_gctk_plan(name, space, model, boot, debug_verify=False):
+    """Instantiate a gctk baseline by name (without the ``gctk:`` prefix)."""
+    token = name.strip().lower()
+    if token in ("ss", "semispace", "semi-space"):
+        return SemiSpaceGctk(space, model, boot, debug_verify)
+    if token in ("appel", "ba2"):
+        return AppelGctk(space, model, boot, debug_verify)
+    match = re.fullmatch(r"fixed\.(\d+)", token)
+    if match:
+        return FixedNurseryGctk(space, model, boot, int(match.group(1)), debug_verify)
+    raise ConfigError(f"unknown gctk collector {name!r}")
+
+
+__all__ = [
+    "AppelGctk",
+    "BoundaryBarrier",
+    "FixedNurseryGctk",
+    "GctkPlan",
+    "SemiSpaceGctk",
+    "SequentialStoreBuffer",
+    "cheney_trace",
+    "make_gctk_plan",
+]

@@ -1,0 +1,141 @@
+"""Shared plan scaffolding for the independent gctk baseline collectors.
+
+These collectors deliberately share *no* code with the Beltway core beyond
+the heap substrate and the result/cost shapes: the paper compares Beltway
+against separately implemented, well-tuned generational collectors, and an
+independent implementation also cross-validates the "Beltway 100.100
+behaves like Appel" equivalence claim (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..core.collector import CollectionResult
+from ..errors import OutOfMemory
+from ..heap.allocator import BumpRegion
+from ..heap.bootimage import BootImage
+from ..heap.objectmodel import ObjectModel, TypeDescriptor
+from ..heap.space import AddressSpace
+from ..heap.verify import HeapVerifier, VerifyReport
+from .ssb import BoundaryBarrier, SequentialStoreBuffer
+
+#: Arbitrary but stable collect-order stamps so the verifier recognises
+#: gctk frames as live (the boundary barrier ignores these numbers).
+NURSERY_ORDER = 1
+MATURE_ORDER = 2
+
+
+class GctkPlan:
+    """Base class: roots, barrier plumbing, allocation accounting."""
+
+    def __init__(
+        self,
+        name: str,
+        space: AddressSpace,
+        model: ObjectModel,
+        boot: BootImage,
+        debug_verify: bool = False,
+    ):
+        self.name = name
+        self.space = space
+        self.model = model
+        self.boot = boot
+        self.debug_verify = debug_verify
+        self.ssb = SequentialStoreBuffer()
+        self.remsets = self.ssb  # interface parity with BeltwayHeap
+        self.barrier = BoundaryBarrier(space, self.ssb)
+        self.root_arrays: List[List[int]] = []
+        self.collections: List[CollectionResult] = []
+        self.collection_listeners: List[Callable[[CollectionResult], None]] = []
+        self.allocations = 0
+        self.allocated_words = 0
+        self._gc_count = 0
+
+    # ------------------------------------------------------------------
+    def register_roots(self, array: List[int]) -> None:
+        self.root_arrays.append(array)
+
+    def write_ref_field(self, obj: int, index: int, value: int) -> None:
+        self.barrier.write_ref(obj, self.model.ref_slot_addr(obj, index), value)
+
+    def read_ref_field(self, obj: int, index: int) -> int:
+        return self.model.get_ref(obj, index)
+
+    # ------------------------------------------------------------------
+    def alloc(self, desc: TypeDescriptor, length: int = 0) -> int:
+        size = desc.size_words(length)
+        addr = self._alloc_words(size)
+        self.model.init_header(addr, desc, length)
+        self.barrier.write_ref(addr, self.model.type_slot_addr(addr), desc.addr)
+        self.allocations += 1
+        self.allocated_words += size
+        return addr
+
+    def _alloc_words(self, size: int) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def collect(self, reason: str = "forced") -> CollectionResult:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # ------------------------------------------------------------------
+    def _new_result(self, reason: str) -> CollectionResult:
+        self._gc_count += 1
+        return CollectionResult(reason=reason, collection_id=self._gc_count)
+
+    def _emit(self, result: CollectionResult) -> CollectionResult:
+        self.collections.append(result)
+        for listener in self.collection_listeners:
+            listener(result)
+        if self.debug_verify:
+            self.verify()
+        return result
+
+    def _acquire_into(self, region: BumpRegion, space_name: str, order: int):
+        frame = self.space.acquire_frame(space_name)
+        self.space.set_order(frame, order)
+        region.add_frame(frame)
+        return frame
+
+    def _release_region(self, region: BumpRegion) -> int:
+        freed = 0
+        for frame in list(region.frames):
+            self.barrier.nursery_frames.discard(frame.index)
+            self.space.release_frame(frame)
+            freed += 1
+        region.reset()
+        return freed
+
+    @property
+    def live_words_upper_bound(self) -> int:
+        """Words currently occupied by heap objects (live + unreclaimed)."""
+        return sum(region.allocated_words for region in self._regions())
+
+    def _regions(self):  # pragma: no cover - overridden
+        return []
+
+    # ------------------------------------------------------------------
+    def roots(self):
+        for array in self.root_arrays:
+            yield from (value for value in array if value)
+        yield from self.boot.iter_objects()
+
+    def verify(self) -> VerifyReport:
+        return HeapVerifier(self.space, self.model).verify(self.roots())
+
+    def _copy_allocator(self, region: BumpRegion, space_name: str, order: int):
+        """An alloc_copy callback growing ``region`` frame by frame."""
+
+        def alloc_copy(size_words: int) -> int:
+            addr = region.alloc(size_words)
+            if addr:
+                return addr
+            self._acquire_into(region, space_name, order)  # may raise OOM
+            addr = region.alloc(size_words)
+            if not addr:
+                raise OutOfMemory(
+                    f"{self.name}: copy of {size_words} words failed"
+                )
+            return addr
+
+        return alloc_copy

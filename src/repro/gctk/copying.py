@@ -1,0 +1,78 @@
+"""Shared Cheney-trace machinery for the gctk baseline collectors.
+
+The baselines evacuate a *from* set of frames into a destination bump
+region: scan the mutator roots, the sequential store buffer, and (unlike
+Beltway) the whole boot image; copy reachable from-space objects; drain
+the gray queue breadth-first.  Work counters are returned in the same
+:class:`~repro.core.collector.CollectionResult` shape Beltway produces so
+the cost model treats both identically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, List, Set
+
+from ..core.collector import CollectionResult
+from ..heap.objectmodel import ObjectModel
+
+
+def cheney_trace(
+    model: ObjectModel,
+    root_arrays: List[List[int]],
+    ssb_slots: Iterable[int],
+    boot_objects: Iterable[int],
+    from_frames: Set[int],
+    alloc_copy: Callable[[int], int],
+    result: CollectionResult,
+) -> None:
+    """Evacuate everything reachable out of ``from_frames``.
+
+    ``alloc_copy(size_words) -> addr`` provides to-space; it may raise
+    OutOfMemory, which aborts the collection (heap below minimum size).
+    Counters are accumulated into ``result``.
+    """
+    space = model.space
+    shift = space.frame_shift
+    worklist = deque()
+
+    def forward(obj: int) -> int:
+        if model.is_forwarded(obj):
+            return model.forwarding_address(obj)
+        size = model.size_words(obj)
+        new_addr = alloc_copy(size)
+        model.copy_words(obj, new_addr, size)
+        model.set_forwarding(obj, new_addr)
+        worklist.append(new_addr)
+        result.copied_objects += 1
+        result.copied_words += size
+        return new_addr
+
+    for array in root_arrays:
+        for i, value in enumerate(array):
+            result.root_slots += 1
+            if value and (value >> shift) in from_frames:
+                array[i] = forward(value)
+
+    for slot in ssb_slots:
+        result.remset_slots += 1
+        target = space.load(slot)
+        if target and (target >> shift) in from_frames:
+            space.store(slot, forward(target))
+
+    # The boot-image rescan the boundary barrier forces (§4.2.1).
+    for obj in boot_objects:
+        for slot in model.iter_ref_slot_addrs(obj):
+            result.boot_slots_scanned += 1
+            target = space.load(slot)
+            if target and (target >> shift) in from_frames:
+                space.store(slot, forward(target))
+
+    while worklist:
+        obj = worklist.popleft()
+        result.scanned_objects += 1
+        for slot in model.iter_ref_slot_addrs(obj):
+            result.scanned_ref_slots += 1
+            target = space.load(slot)
+            if target and (target >> shift) in from_frames:
+                space.store(slot, forward(target))

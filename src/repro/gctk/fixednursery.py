@@ -1,0 +1,45 @@
+"""Independent fixed-size-nursery generational collector — gctk baseline.
+
+Identical machinery to the Appel baseline except the nursery is a fixed
+fraction of usable memory (usable = heap/2 under the classic half-heap
+reserve).  Small nurseries collect too often and give objects too little
+time to die; large nurseries squeeze the mature space and force frequent
+full-heap collections — the trade-off Fig. 6 of the paper sweeps.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .appel import AppelGctk
+
+
+class FixedNurseryGctk(AppelGctk):
+    """Nursery capacity fixed at ``pct`` % of half the heap."""
+
+    def __init__(self, space, model, boot, pct: int, debug_verify=False):
+        if not 0 < pct <= 100:
+            raise ConfigError(f"fixed nursery percentage {pct} out of range")
+        super().__init__(
+            space, model, boot, debug_verify, name=f"gctk:Fixed.{pct}"
+        )
+        self.pct = pct
+        usable_frames = space.heap_frames // 2
+        self.fixed_frames = max(1, (usable_frames * pct) // 100)
+
+    def nursery_capacity_frames(self) -> int:
+        """Strictly fixed: the nursery reservation does not shrink.  In
+        tight heaps this is what makes the collector "fail to perform at
+        all" (Fig. 6) — the reservation plus its reserve simply do not fit
+        and the run dies with OutOfMemory."""
+        return self.fixed_frames
+
+    def _needs_major(self) -> bool:
+        # The nursery reservation is carved out of usable memory (the
+        # non-reserve half): major once the mature space can no longer
+        # coexist with it.  This is exactly why fixed-size nurseries have
+        # larger minimum heaps than Appel (Fig. 6): min heap ≈
+        # 2·live / (1 − pct/100) instead of 2·live.
+        return (
+            self.mature.num_frames + self.fixed_frames
+            > self.space.heap_frames // 2
+        )

@@ -1,0 +1,71 @@
+"""The classic address-order boundary barrier and its store buffer.
+
+The paper's tuned generational baseline uses "a very fast address-order
+write barrier" [Blackburn & McKinley, ISMM'02]: the nursery sits on one
+side of a boundary and every store that creates an old→young pointer is
+appended to a sequential store buffer (SSB).  Two behavioural differences
+from the Beltway frame barrier matter to the evaluation and are modelled
+faithfully:
+
+* the SSB does not deduplicate — repeated stores of the same slot are
+  re-processed at the next collection;
+* boot-image writes are *not* caught, so the collector must rescan the
+  boot image at every collection (§4.2.1) — charged via
+  ``boot_slots_scanned``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..core.barrier import BarrierStats
+from ..heap.space import AddressSpace
+
+
+class SequentialStoreBuffer:
+    """Slot addresses of recorded old→young stores (duplicates kept)."""
+
+    def __init__(self) -> None:
+        self.slots: List[int] = []
+        self.inserts = 0
+        self.duplicate_inserts = 0  # interface parity; SSBs never dedup
+
+    def append(self, slot_addr: int) -> None:
+        self.slots.append(slot_addr)
+        self.inserts += 1
+
+    def clear(self) -> None:
+        self.slots.clear()
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    @property
+    def total_entries(self) -> int:
+        return len(self.slots)
+
+
+class BoundaryBarrier:
+    """Remember stores whose target is in the nursery and source is not."""
+
+    def __init__(self, space: AddressSpace, ssb: SequentialStoreBuffer):
+        self.space = space
+        self.ssb = ssb
+        self.stats = BarrierStats()
+        #: Frame indices currently forming the nursery ("high memory").
+        self.nursery_frames: Set[int] = set()
+
+    def write_ref(self, source_obj: int, slot_addr: int, target: int) -> None:
+        space = self.space
+        shift = space.frame_shift
+        self.stats.fast_path += 1
+        if target == 0:
+            self.stats.null_stores += 1
+            space.store(slot_addr, target)
+            return
+        if (target >> shift) in self.nursery_frames and (
+            (source_obj >> shift) not in self.nursery_frames
+        ):
+            self.stats.slow_path += 1
+            self.ssb.append(slot_addr)
+        space.store(slot_addr, target)

@@ -1,0 +1,23 @@
+"""Experiment harness: runners, per-figure experiments, and the CLI."""
+
+from .experiments import (
+    ALL_EXPERIMENTS,
+    BASELINE,
+    ExperimentResult,
+    cached_sweep,
+    clear_caches,
+    min_heap,
+)
+from .runner import FRAME_BYTES, find_min_heap, run_benchmark
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "BASELINE",
+    "ExperimentResult",
+    "FRAME_BYTES",
+    "cached_sweep",
+    "clear_caches",
+    "find_min_heap",
+    "min_heap",
+    "run_benchmark",
+]

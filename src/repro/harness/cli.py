@@ -1,0 +1,146 @@
+"""``beltway-bench``: command-line access to every reproduced experiment.
+
+Examples
+--------
+::
+
+    beltway-bench list
+    beltway-bench run --benchmark jess --collector 25.25.100 --heap-kb 24
+    beltway-bench minheap --benchmark javac --collector gctk:Appel
+    beltway-bench experiment figure9 --points 9
+    beltway-bench all --points 7
+    beltway-bench experiment figure9 --full        # the paper's 33 points
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+from typing import List, Optional
+
+from ..bench.spec import BENCHMARK_NAMES, KB
+from ..core.config import EXTENSION_CONFIGS, PAPER_CONFIGS
+from .experiments import ALL_EXPERIMENTS
+from .runner import find_min_heap, run_benchmark
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=1.0, help="workload length multiplier")
+    parser.add_argument("--seed", type=int, default=13)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="beltway-bench",
+        description="Beltway (PLDI 2002) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list benchmarks, collectors, experiments")
+
+    p_run = sub.add_parser("run", help="one benchmark/collector/heap run")
+    p_run.add_argument("--benchmark", required=True, choices=BENCHMARK_NAMES)
+    p_run.add_argument("--collector", default="25.25.100")
+    p_run.add_argument("--heap-kb", type=float, required=True)
+    _add_common(p_run)
+
+    p_min = sub.add_parser("minheap", help="find the minimum heap size")
+    p_min.add_argument("--benchmark", required=True, choices=BENCHMARK_NAMES)
+    p_min.add_argument("--collector", default="gctk:Appel")
+    _add_common(p_min)
+
+    p_exp = sub.add_parser("experiment", help="reproduce one table/figure")
+    p_exp.add_argument("name", choices=sorted(ALL_EXPERIMENTS))
+    p_exp.add_argument("--points", type=int, default=9, help="heap grid points")
+    p_exp.add_argument("--full", action="store_true", help="use the paper's 33-point grid")
+    _add_common(p_exp)
+
+    p_all = sub.add_parser("all", help="reproduce every table and figure")
+    p_all.add_argument("--points", type=int, default=9)
+    p_all.add_argument("--full", action="store_true")
+    _add_common(p_all)
+
+    p_rep = sub.add_parser("report", help="write a full markdown report")
+    p_rep.add_argument("--output", default="beltway-report.md")
+    p_rep.add_argument("--points", type=int, default=9)
+    p_rep.add_argument("--full", action="store_true")
+    p_rep.add_argument(
+        "--only", nargs="*", choices=sorted(ALL_EXPERIMENTS), default=None,
+        help="restrict to these experiments",
+    )
+    _add_common(p_rep)
+    return parser
+
+
+def _run_experiment(name: str, points: int, scale: float) -> bool:
+    fn = ALL_EXPERIMENTS[name]
+    kwargs = {}
+    signature = inspect.signature(fn)
+    if "points" in signature.parameters:
+        kwargs["points"] = points
+    if "scale" in signature.parameters:
+        kwargs["scale"] = scale
+    started = time.time()
+    result = fn(**kwargs)
+    print(result.text)
+    elapsed = time.time() - started
+    failed = result.failed_checks()
+    verdict = "all shape checks PASS" if not failed else f"FAILED checks: {failed}"
+    print(f"\n[{name}] {verdict} ({elapsed:.1f}s)\n")
+    return not failed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("benchmarks: " + ", ".join(BENCHMARK_NAMES))
+        print("collectors: " + ", ".join(PAPER_CONFIGS))
+        print("gctk baselines: gctk:SS, gctk:Appel, gctk:Fixed.<pct>")
+        print("extensions: " + ", ".join(EXTENSION_CONFIGS))
+        print("experiments: " + ", ".join(sorted(ALL_EXPERIMENTS)))
+        return 0
+    if args.command == "run":
+        stats = run_benchmark(
+            args.benchmark,
+            args.collector,
+            int(args.heap_kb * KB),
+            scale=args.scale,
+            seed=args.seed,
+        )
+        print(stats.summary_row())
+        return 0 if stats.completed else 1
+    if args.command == "minheap":
+        minimum = find_min_heap(
+            args.benchmark, args.collector, scale=args.scale, seed=args.seed
+        )
+        print(f"{args.benchmark}/{args.collector}: min heap = {minimum / KB:.1f}KB")
+        return 0
+    points = 33 if getattr(args, "full", False) else args.points
+    if args.command == "experiment":
+        return 0 if _run_experiment(args.name, points, args.scale) else 1
+    if args.command == "all":
+        ok = True
+        for name in ALL_EXPERIMENTS:
+            ok = _run_experiment(name, points, args.scale) and ok
+        return 0 if ok else 1
+    if args.command == "report":
+        from pathlib import Path
+
+        from .report import write_report
+
+        results = write_report(
+            Path(args.output), points=points, scale=args.scale, names=args.only
+        )
+        failed = [n for n, r in results.items() if not r.all_checks_pass]
+        print(f"wrote {args.output} ({len(results)} experiments)")
+        if failed:
+            print(f"FAILED shape checks in: {failed}")
+            return 1
+        return 0
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Run benchmarks against collectors; discover minimum heap sizes.
+
+Every figure in the paper is built from :func:`run_benchmark` calls: one
+(benchmark, collector, heap size) → RunStats.  Minimum heaps (Table 1 and
+the x-axis normalisation of every plot) come from :func:`find_min_heap`,
+a doubling-then-bisection search over heap sizes at frame granularity —
+the same "smallest heap in which the program completes" definition the
+paper uses (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..bench.engine import SyntheticMutator
+from ..bench.spec import get_spec
+from ..errors import OutOfMemory, ReproError
+from ..runtime.vm import EXPERIMENT_FRAME_SHIFT, VM
+from ..sim.stats import RunStats
+
+#: Frame size used by all experiments (bytes).
+FRAME_BYTES = 1 << EXPERIMENT_FRAME_SHIFT
+
+
+def run_benchmark(
+    benchmark: str,
+    collector: str,
+    heap_bytes: int,
+    scale: float = 1.0,
+    seed: int = 13,
+    debug_verify: bool = False,
+) -> RunStats:
+    """One complete run; OutOfMemory is reported, not raised."""
+    spec = get_spec(benchmark, scale)
+    vm = VM(
+        heap_bytes,
+        collector=collector,
+        locality=spec.locality,
+        debug_verify=debug_verify,
+        benchmark_name=spec.name,
+    )
+    engine = SyntheticMutator(vm, spec, seed=seed)
+    try:
+        return engine.run()
+    except OutOfMemory as error:
+        return vm.finish(completed=False, failure=str(error))
+
+
+def find_min_heap(
+    benchmark: str,
+    collector: str,
+    scale: float = 1.0,
+    seed: int = 13,
+    start_bytes: Optional[int] = None,
+    max_bytes: int = 4 * 1024 * 1024,
+) -> int:
+    """Smallest heap (bytes, frame granularity) where the run completes."""
+    spec = get_spec(benchmark, scale)
+    lo = start_bytes or max(4 * FRAME_BYTES, spec.total_alloc_bytes // 64)
+    lo = _round_frames(lo)
+
+    def completes(heap_bytes: int) -> bool:
+        return run_benchmark(
+            benchmark, collector, heap_bytes, scale=scale, seed=seed
+        ).completed
+
+    # Phase 1: double until success.
+    hi = lo
+    while not completes(hi):
+        hi *= 2
+        if hi > max_bytes:
+            raise OutOfMemory(
+                f"{benchmark}/{collector}: no heap up to {max_bytes} bytes works"
+            )
+    if hi == lo:
+        # Walk down: lo may already be above the minimum.
+        while lo > 2 * FRAME_BYTES and completes(lo - FRAME_BYTES):
+            lo -= FRAME_BYTES
+        return lo
+    # Phase 2: bisect (lo fails, hi works) to frame granularity.
+    lo = hi // 2
+    while hi - lo > FRAME_BYTES:
+        mid = _round_frames((lo + hi) // 2)
+        if mid in (lo, hi):
+            break
+        if completes(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def _round_frames(nbytes: int) -> int:
+    return max(2 * FRAME_BYTES, (nbytes // FRAME_BYTES) * FRAME_BYTES)

@@ -1,0 +1,86 @@
+"""Bump-pointer allocation over a growing list of frames.
+
+Both Beltway increments and the gctk baseline spaces allocate the same way
+Jikes RVM's copying spaces do: a bump pointer through contiguous frames.
+Objects never span frames; when an object does not fit in the tail of the
+current frame the tail is wasted (tracked as ``wasted_words``) and
+allocation moves to the next frame.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import OutOfMemory
+from .address import WORD_BYTES
+from .frame import Frame
+from .space import AddressSpace
+
+
+class BumpRegion:
+    """A bump-allocated region composed of whole frames."""
+
+    def __init__(self, space: AddressSpace):
+        self.space = space
+        self.frames: List[Frame] = []
+        self._cursor = 0  # byte address of next free word
+        self._limit = 0  # byte address one past the current frame
+        self.allocated_words = 0  # words handed out to objects
+        self.wasted_words = 0  # frame tails skipped by oversize objects
+
+    # ------------------------------------------------------------------
+    def add_frame(self, frame: Frame) -> None:
+        """Append a freshly acquired frame and point the cursor at it."""
+        if self.frames and self._cursor < self._limit:
+            # Abandon the current tail; it becomes waste.
+            self.wasted_words += (self._limit - self._cursor) // WORD_BYTES
+            current = self.frames[-1]
+            current.used_words = current.size_words
+        self.frames.append(frame)
+        self._cursor = self.space.frame_base(frame)
+        self._limit = self._cursor + frame.size_bytes
+
+    def alloc(self, size_words: int) -> int:
+        """Bump-allocate ``size_words``; returns 0 if a new frame is needed."""
+        if size_words > self.space.frame_words:
+            raise OutOfMemory(
+                f"object of {size_words} words exceeds the frame size "
+                f"({self.space.frame_words} words); the reproduction, like "
+                "GCTk, has no large-object space",
+                requested_words=size_words,
+            )
+        size_bytes = size_words * WORD_BYTES
+        if self._cursor + size_bytes > self._limit:
+            return 0
+        addr = self._cursor
+        self._cursor += size_bytes
+        frame = self.frames[-1]
+        frame.used_words = (self._cursor - self.space.frame_base(frame)) // WORD_BYTES
+        self.allocated_words += size_words
+        return addr
+
+    # ------------------------------------------------------------------
+    @property
+    def current_frame(self) -> Optional[Frame]:
+        return self.frames[-1] if self.frames else None
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def occupancy_words(self) -> int:
+        """Words consumed (allocated plus waste) — the paper's "occupancy"."""
+        return self.allocated_words + self.wasted_words
+
+    def frame_tail_words(self) -> int:
+        """Free words remaining in the current frame."""
+        return (self._limit - self._cursor) // WORD_BYTES
+
+    def reset(self) -> None:
+        """Forget all frames (the owner releases them separately)."""
+        self.frames = []
+        self._cursor = 0
+        self._limit = 0
+        self.allocated_words = 0
+        self.wasted_words = 0

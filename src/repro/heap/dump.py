@@ -1,0 +1,124 @@
+"""Heap inspection: occupancy maps, object statistics, DOT export.
+
+Debugging aids for collector development: what a `jmap`/`jhat` would be
+for this simulated heap.  Nothing here mutates the heap.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .address import WORD_BYTES
+from .objectmodel import ObjectModel
+from .space import AddressSpace
+
+
+@dataclass
+class HeapCensus:
+    """Aggregate statistics of the reachable heap."""
+
+    objects: int = 0
+    words: int = 0
+    by_type: Dict[str, int] = field(default_factory=dict)
+    words_by_type: Dict[str, int] = field(default_factory=dict)
+    edges: int = 0
+    null_slots: int = 0
+    max_depth: int = 0
+
+    def top_types(self, n: int = 5) -> List[Tuple[str, int]]:
+        return Counter(self.words_by_type).most_common(n)
+
+    def summary(self) -> str:
+        top = ", ".join(f"{t}:{w}w" for t, w in self.top_types(3))
+        return (
+            f"{self.objects} objects / {self.words} words; "
+            f"{self.edges} edges, {self.null_slots} null slots; "
+            f"heaviest types: {top}"
+        )
+
+
+def census(model: ObjectModel, roots: Iterable[int]) -> HeapCensus:
+    """BFS census of everything reachable from ``roots``."""
+    space = model.space
+    out = HeapCensus()
+    seen: Set[int] = set()
+    frontier = [addr for addr in roots if addr]
+    depth = 0
+    for addr in frontier:
+        seen.add(addr)
+    while frontier:
+        next_frontier = []
+        for obj in frontier:
+            desc = model.type_of(obj)
+            size = model.size_words(obj)
+            out.objects += 1
+            out.words += size
+            out.by_type[desc.name] = out.by_type.get(desc.name, 0) + 1
+            out.words_by_type[desc.name] = (
+                out.words_by_type.get(desc.name, 0) + size
+            )
+            for slot in model.iter_ref_slot_addrs(obj):
+                target = space.load(slot)
+                if not target:
+                    out.null_slots += 1
+                    continue
+                out.edges += 1
+                if target not in seen:
+                    seen.add(target)
+                    next_frontier.append(target)
+        frontier = next_frontier
+        if frontier:
+            depth += 1
+    out.max_depth = depth
+    return out
+
+
+def occupancy_map(space: AddressSpace) -> str:
+    """One line per mapped frame: index, owner, fill bar."""
+    lines = ["frame  owner         order        fill"]
+    for frame in space.iter_frames():
+        fill = frame.used_words / frame.size_words if frame.size_words else 0
+        bar = "#" * int(round(fill * 20))
+        order = frame.collect_order
+        order_text = "boot" if order >= (1 << 61) else str(order)
+        lines.append(
+            f"{frame.index:5d}  {frame.space_name:<12s} {order_text:<12s} "
+            f"[{bar:<20s}] {frame.used_words}/{frame.size_words}w"
+        )
+    return "\n".join(lines)
+
+
+def to_dot(
+    model: ObjectModel,
+    roots: Iterable[int],
+    max_objects: int = 200,
+) -> str:
+    """GraphViz DOT of the reachable object graph (truncated for sanity)."""
+    space = model.space
+    seen: Set[int] = set()
+    stack = [addr for addr in roots if addr]
+    edges: List[Tuple[int, int]] = []
+    labels: Dict[int, str] = {}
+    while stack and len(seen) < max_objects:
+        obj = stack.pop()
+        if obj in seen:
+            continue
+        seen.add(obj)
+        desc = model.type_of(obj)
+        labels[obj] = f"{desc.name}@{obj:#x}"
+        for slot in model.iter_ref_slot_addrs(obj):
+            target = space.load(slot)
+            if target:
+                edges.append((obj, target))
+                if target not in seen:
+                    stack.append(target)
+    lines = ["digraph heap {", "  rankdir=LR;", "  node [shape=box];"]
+    for obj, label in labels.items():
+        lines.append(f'  n{obj} [label="{label}"];')
+    for src, dst in edges:
+        if src in labels and dst in labels:
+            lines.append(f"  n{src} -> n{dst};")
+    lines.append("}")
+    return "\n".join(lines)

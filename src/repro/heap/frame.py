@@ -1,0 +1,86 @@
+"""Frames: the unit of address-space mapping, barrier filtering and reuse.
+
+A frame owns the backing storage for one aligned power-of-two slice of the
+simulated address space.  The collector-facing metadata kept here is exactly
+the metadata the paper attaches to frames:
+
+* ``collect_order`` — the frame's *relative collection order* (paper
+  §3.3.1: "we maintain a number associated with each frame that indicates
+  the frame's relative collection order").  The write barrier compares the
+  orders of source and target frames and records a pointer only when the
+  target would be collected sooner than the source.
+* the owning increment (or space, for non-Beltway collectors), so a frame's
+  membership can be tested in O(1) during collection.
+
+Frames are recycled through the free pool of the :class:`~repro.heap.space.
+AddressSpace`; their storage is zeroed on release so stale pointers can
+never leak between collector epochs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .address import WORD_BYTES
+
+#: Collection order assigned to frames that are never collected (the boot
+#: image).  Any pointer *from* a boot frame *into* the heap therefore always
+#: satisfies the barrier's ``order[target] < order[source]`` test and is
+#: remembered, which is how the paper's Beltway barrier subsumes boot-image
+#: scanning (§4.2.1).
+BOOT_ORDER = 1 << 62
+
+#: Order for frames that are currently free / unassigned.  Using the same
+#: sentinel as BOOT_ORDER would hide bugs, so keep it distinct and poisoned.
+UNASSIGNED_ORDER = -1
+
+
+class Frame:
+    """Backing storage plus GC metadata for one frame of address space."""
+
+    __slots__ = (
+        "index",
+        "words",
+        "size_words",
+        "collect_order",
+        "increment",
+        "space_name",
+        "used_words",
+        "allocated",
+    )
+
+    def __init__(self, index: int, size_words: int):
+        self.index = index
+        self.size_words = size_words
+        self.words = [0] * size_words
+        self.collect_order: int = UNASSIGNED_ORDER
+        #: The owning Increment (Beltway) or space object (gctk collectors).
+        self.increment: Optional[object] = None
+        self.space_name: str = "free"
+        #: High-water bump mark, in words, for linear walks and occupancy.
+        self.used_words: int = 0
+        self.allocated: bool = False
+
+    def reset(self) -> None:
+        """Return the frame to its pristine, free state (storage zeroed)."""
+        for i in range(self.used_words):
+            self.words[i] = 0
+        self.collect_order = UNASSIGNED_ORDER
+        self.increment = None
+        self.space_name = "free"
+        self.used_words = 0
+        self.allocated = False
+
+    @property
+    def size_bytes(self) -> int:
+        return self.size_words * WORD_BYTES
+
+    @property
+    def free_words(self) -> int:
+        return self.size_words - self.used_words
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Frame {self.index} {self.space_name} order={self.collect_order} "
+            f"used={self.used_words}/{self.size_words}w>"
+        )

@@ -1,0 +1,172 @@
+"""The simulated address space: a frame table plus load/store.
+
+The address space hands out frames against a fixed heap budget (the "heap
+size" of every experiment), recycles released frames through a free pool,
+and services word-granularity loads and stores.  It deliberately knows
+nothing about objects, belts or collectors — it is the "virtual memory"
+substrate the paper's GCTk sits on.
+
+Boot-image frames are mapped outside the heap budget (they model the Jikes
+RVM boot image, which is not part of the collected heap) and are stamped
+with :data:`~repro.heap.frame.BOOT_ORDER` so the ordinary write barrier
+remembers boot→heap pointers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import InvalidAddress, OutOfMemory
+from .address import (
+    DEFAULT_FRAME_SHIFT,
+    LOG_WORD_BYTES,
+    WORD_BYTES,
+)
+from .frame import BOOT_ORDER, UNASSIGNED_ORDER, Frame
+
+
+class AddressSpace:
+    """Frame table, free pool, and word-granularity memory access.
+
+    Parameters
+    ----------
+    heap_frames:
+        The heap budget, in frames.  ``heap_frames * frame_bytes`` is the
+        heap size every experiment sweeps.
+    frame_shift:
+        log2 of the frame size in bytes.
+    """
+
+    def __init__(self, heap_frames: int, frame_shift: int = DEFAULT_FRAME_SHIFT):
+        if heap_frames < 2:
+            raise OutOfMemory(f"heap of {heap_frames} frames is too small to map")
+        self.frame_shift = frame_shift
+        self.frame_bytes = 1 << frame_shift
+        self.frame_words = self.frame_bytes >> LOG_WORD_BYTES
+        self.heap_frames = heap_frames
+        # Frame index 0 is never mapped: address 0 is NULL.
+        self._frames: List[Optional[Frame]] = [None]
+        #: collect_order per frame index, kept flat for the hot barrier path.
+        self.orders: List[int] = [UNASSIGNED_ORDER]
+        self._free_pool: List[Frame] = []
+        self.heap_frames_in_use = 0
+        self.boot_frames_in_use = 0
+        # Access statistics (consumed by the cost model).
+        self.load_count = 0
+        self.store_count = 0
+
+    # ------------------------------------------------------------------
+    # Frame management
+    # ------------------------------------------------------------------
+    def heap_frames_free(self) -> int:
+        """Frames still available inside the heap budget."""
+        return self.heap_frames - self.heap_frames_in_use
+
+    def acquire_frame(self, space_name: str, boot: bool = False) -> Frame:
+        """Map a frame for ``space_name``.
+
+        Heap frames are counted against the heap budget and raising
+        :class:`OutOfMemory` when it is exhausted; boot frames are not.
+        Callers (collector plans) are responsible for honouring the copy
+        reserve *before* asking for a frame — the space only enforces the
+        hard budget.
+        """
+        if not boot:
+            if self.heap_frames_in_use >= self.heap_frames:
+                raise OutOfMemory(
+                    f"heap budget of {self.heap_frames} frames exhausted"
+                )
+            self.heap_frames_in_use += 1
+        else:
+            self.boot_frames_in_use += 1
+        if self._free_pool and not boot:
+            frame = self._free_pool.pop()
+        else:
+            frame = Frame(len(self._frames), self.frame_words)
+            self._frames.append(frame)
+            self.orders.append(UNASSIGNED_ORDER)
+        frame.allocated = True
+        frame.space_name = space_name
+        if boot:
+            self.set_order(frame, BOOT_ORDER)
+        return frame
+
+    def release_frame(self, frame: Frame) -> None:
+        """Unmap a heap frame and recycle it through the free pool."""
+        if not frame.allocated:
+            raise InvalidAddress(f"releasing unallocated frame {frame.index}")
+        if self.orders[frame.index] == BOOT_ORDER:
+            raise InvalidAddress("boot-image frames are immortal")
+        frame.reset()
+        self.orders[frame.index] = UNASSIGNED_ORDER
+        self.heap_frames_in_use -= 1
+        self._free_pool.append(frame)
+
+    def set_order(self, frame: Frame, order: int) -> None:
+        """Stamp ``frame`` with its relative collection order."""
+        frame.collect_order = order
+        self.orders[frame.index] = order
+
+    def frame(self, index: int) -> Frame:
+        """The :class:`Frame` with the given index (must be mapped)."""
+        try:
+            frame = self._frames[index]
+        except IndexError:
+            frame = None
+        if frame is None or not frame.allocated:
+            raise InvalidAddress(f"frame {index} is not mapped")
+        return frame
+
+    def frame_containing(self, addr: int) -> Frame:
+        """The mapped frame containing byte address ``addr``."""
+        return self.frame(addr >> self.frame_shift)
+
+    def is_mapped(self, addr: int) -> bool:
+        """True iff ``addr`` falls inside a mapped frame."""
+        index = addr >> self.frame_shift
+        return (
+            0 < index < len(self._frames)
+            and self._frames[index] is not None
+            and self._frames[index].allocated
+        )
+
+    def iter_frames(self):
+        """All currently mapped frames (boot and heap)."""
+        for frame in self._frames[1:]:
+            if frame is not None and frame.allocated:
+                yield frame
+
+    # ------------------------------------------------------------------
+    # Memory access
+    # ------------------------------------------------------------------
+    def load(self, addr: int) -> int:
+        """Load the word at byte address ``addr``."""
+        index = addr >> self.frame_shift
+        try:
+            frame = self._frames[index]
+        except IndexError:
+            frame = None
+        if frame is None or not frame.allocated:
+            raise InvalidAddress(f"load from unmapped address {addr:#x}")
+        self.load_count += 1
+        offset = (addr - (index << self.frame_shift)) >> LOG_WORD_BYTES
+        return frame.words[offset]
+
+    def store(self, addr: int, value: int) -> None:
+        """Store ``value`` into the word at byte address ``addr``."""
+        if addr & (WORD_BYTES - 1):
+            raise InvalidAddress(f"misaligned store to {addr:#x}")
+        index = addr >> self.frame_shift
+        try:
+            frame = self._frames[index]
+        except IndexError:
+            frame = None
+        if frame is None or not frame.allocated:
+            raise InvalidAddress(f"store to unmapped address {addr:#x}")
+        self.store_count += 1
+        offset = (addr - (index << self.frame_shift)) >> LOG_WORD_BYTES
+        frame.words[offset] = value
+
+    def frame_base(self, frame: Frame) -> int:
+        """Byte address of the first word of ``frame``."""
+        return frame.index << self.frame_shift

@@ -1,0 +1,7 @@
+"""Runtime glue: the VM facade, root handles and the mutator context."""
+
+from .mutator import MutatorContext
+from .roots import Handle, RootTable
+from .vm import EXPERIMENT_FRAME_SHIFT, VM
+
+__all__ = ["EXPERIMENT_FRAME_SHIFT", "Handle", "MutatorContext", "RootTable", "VM"]

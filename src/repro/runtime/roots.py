@@ -1,0 +1,81 @@
+"""GC-safe handles: the only way mutator code may hold object references.
+
+A collection moves objects and rewrites every root slot; any raw address a
+benchmark kept in a Python variable across an allocation would silently
+dangle.  A :class:`Handle` is an index into a registered root array, so
+the collector's root scan updates it in place — the moral equivalent of
+the JNI local-reference discipline Jikes RVM's own Java code follows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import HeapCorruption
+
+
+class Handle:
+    """A rooted reference; ``addr`` is always current, even across GCs."""
+
+    __slots__ = ("_table", "_index")
+
+    def __init__(self, table: "RootTable", index: int):
+        self._table = table
+        self._index = index
+
+    @property
+    def addr(self) -> int:
+        slots = self._table.slots
+        if self._index < 0:
+            raise HeapCorruption("use of a dropped handle")
+        return slots[self._index]
+
+    @addr.setter
+    def addr(self, value: int) -> None:
+        if self._index < 0:
+            raise HeapCorruption("write through a dropped handle")
+        self._table.slots[self._index] = value
+
+    @property
+    def is_null(self) -> bool:
+        return self.addr == 0
+
+    def drop(self) -> None:
+        """Release the root slot; the handle becomes unusable."""
+        self._table.release(self._index)
+        self._index = -1
+
+    def __bool__(self) -> bool:
+        return not self.is_null
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._index < 0:
+            return "<Handle dropped>"
+        return f"<Handle #{self._index} -> {self.addr:#x}>"
+
+
+class RootTable:
+    """A growable root array with slot reuse, registered with the plan."""
+
+    def __init__(self) -> None:
+        self.slots: List[int] = []
+        self._free: List[int] = []
+
+    def acquire(self, addr: int = 0) -> Handle:
+        if self._free:
+            index = self._free.pop()
+            self.slots[index] = addr
+        else:
+            index = len(self.slots)
+            self.slots.append(addr)
+        return Handle(self, index)
+
+    def release(self, index: int) -> None:
+        if index < 0 or index >= len(self.slots):
+            raise HeapCorruption(f"releasing bogus root slot {index}")
+        self.slots[index] = 0
+        self._free.append(index)
+
+    @property
+    def live_slots(self) -> int:
+        return len(self.slots) - len(self._free)

@@ -1,0 +1,18 @@
+"""Deterministic time simulation: cost model, clock, locality, statistics."""
+
+from .clock import Clock, PauseRecord
+from .cost import CYCLES_PER_SECOND, CostModel, DEFAULT_COST_MODEL, cycles_to_seconds
+from .locality import NO_LOCALITY, LocalityModel
+from .stats import RunStats
+
+__all__ = [
+    "CYCLES_PER_SECOND",
+    "Clock",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "LocalityModel",
+    "NO_LOCALITY",
+    "PauseRecord",
+    "RunStats",
+    "cycles_to_seconds",
+]

@@ -1,0 +1,58 @@
+"""Coarse locality penalty: cache reuse and paging effects on the mutator.
+
+The paper's total-time results contain two effects that pure GC-work
+accounting cannot produce (§4.2.6):
+
+* 209_db and pseudojbb are "very sensitive to locality effects";
+* "Appel performs very poorly in large heaps for pseudojbb because the
+  program thrashes when its nursery becomes too large and spreads out live
+  data too much" — i.e. the best total time is *not* at the largest heap
+  (also Fig. 1b).
+
+We model both with a benchmark-parameterised multiplier on mutator work:
+
+    multiplier = 1 + cache_sensitivity * min(overrun, 4)           (cache)
+               + paging_factor * max(0, footprint/memory - 1)      (paging)
+
+where ``overrun = max(0, (reuse_ws - cache) / cache)`` and the reuse
+working set is the region the mutator cycles through between collections —
+dominated by the allocation area (the nursery), plus the live data it
+touches.  This is deliberately simple: it reproduces the paper's
+*qualitative* locality stories (flat db curves, pseudojbb's large-heap
+degradation, small-nursery locality benefits) without pretending to model
+a PowerPC G4 memory hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LocalityModel:
+    """Benchmark-specific locality parameters (all sizes in words)."""
+
+    #: Effective cache size; working sets beyond it slow the mutator.
+    cache_words: int = 16 * 1024
+    #: How strongly this benchmark's mutator suffers per unit of cache
+    #: overrun (db and pseudojbb are high; jess and raytrace low).
+    cache_sensitivity: float = 0.0
+    #: Physical memory; a footprint beyond it thrashes.  0 disables paging.
+    memory_words: int = 0
+    #: Slowdown per unit of memory overcommit.
+    paging_factor: float = 4.0
+
+    def multiplier(self, reuse_ws_words: int, footprint_words: int) -> float:
+        """Mutator slowdown for the current working set and footprint."""
+        factor = 1.0
+        if self.cache_sensitivity and reuse_ws_words > self.cache_words:
+            overrun = (reuse_ws_words - self.cache_words) / self.cache_words
+            factor += self.cache_sensitivity * min(overrun, 4.0)
+        if self.memory_words and footprint_words > self.memory_words:
+            overcommit = footprint_words / self.memory_words - 1.0
+            factor += self.paging_factor * overcommit
+        return factor
+
+
+#: No locality effects at all (unit multiplier) — the default for tests.
+NO_LOCALITY = LocalityModel()

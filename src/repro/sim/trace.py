@@ -1,0 +1,103 @@
+"""Event tracing: a machine-readable timeline of a run.
+
+Records the collection-level events of a run — when each GC happened on
+the simulated clock, what it collected, what it copied and freed — plus
+periodic heap-shape snapshots, and serialises them as JSON lines.  This
+is the artefact to diff when two collector versions disagree, and the
+input for external plotting.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import IO, Dict, List, Optional
+
+from ..runtime.vm import VM
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event (collection or snapshot)."""
+
+    kind: str  # "collection" | "snapshot"
+    time: float  # simulated cycles at the event
+    data: Dict
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"kind": self.kind, "time": self.time, **self.data},
+            sort_keys=True,
+        )
+
+
+class Tracer:
+    """Attach to a VM before the run; read ``events`` after it."""
+
+    def __init__(self, vm: VM, snapshot_every: int = 0):
+        self.vm = vm
+        self.events: List[TraceEvent] = []
+        self._snapshot_every = snapshot_every
+        self._since_snapshot = 0
+        vm.plan.collection_listeners.append(self._on_collection)
+
+    # ------------------------------------------------------------------
+    def _on_collection(self, result) -> None:
+        self.events.append(
+            TraceEvent(
+                kind="collection",
+                time=self.vm.clock.now,
+                data={
+                    "id": result.collection_id,
+                    "reason": result.reason,
+                    "belts": list(result.belts_collected),
+                    "from_frames": result.from_frames,
+                    "copied_words": result.copied_words,
+                    "copied_objects": result.copied_objects,
+                    "freed_frames": result.freed_frames,
+                    "remset_slots": result.remset_slots,
+                    "full_heap": result.was_full_heap,
+                },
+            )
+        )
+        self._since_snapshot += 1
+        if self._snapshot_every and self._since_snapshot >= self._snapshot_every:
+            self.snapshot()
+            self._since_snapshot = 0
+
+    def snapshot(self) -> TraceEvent:
+        """Record the current heap shape."""
+        plan = self.vm.plan
+        space = self.vm.space
+        event = TraceEvent(
+            kind="snapshot",
+            time=self.vm.clock.now,
+            data={
+                "frames_in_use": space.heap_frames_in_use,
+                "frames_total": space.heap_frames,
+                "occupied_words": plan.live_words_upper_bound,
+                "remset_entries": len(plan.remsets),
+                "allocations": plan.allocations,
+            },
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def collections(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "collection"]
+
+    def snapshots(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "snapshot"]
+
+    def write_jsonl(self, stream: IO[str]) -> int:
+        """Write one JSON object per line; returns the event count."""
+        for event in self.events:
+            stream.write(event.to_json())
+            stream.write("\n")
+        return len(self.events)
+
+
+def load_jsonl(stream: IO[str]) -> List[Dict]:
+    """Parse a trace written by :meth:`Tracer.write_jsonl`."""
+    return [json.loads(line) for line in stream if line.strip()]

@@ -1,0 +1,85 @@
+"""Tests for pause-time distribution analysis."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.pauses import (
+    histogram,
+    percentile,
+    render_histogram,
+    summarise,
+    worst_cluster,
+)
+
+
+PAUSES = [(0, 10), (50, 55), (100, 140), (200, 202)]
+
+
+def test_summarise_basics():
+    out = summarise(PAUSES)
+    assert out.count == 4
+    assert out.total == 10 + 5 + 40 + 2
+    assert out.mean == pytest.approx(57 / 4)
+    assert out.max == 40
+    assert out.p50 in (5, 10)
+    assert "n=4" in out.row()
+
+
+def test_summarise_empty():
+    out = summarise([])
+    assert out.count == 0 and out.max == 0.0
+
+
+def test_percentile_nearest_rank():
+    values = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+    assert percentile(values, 0.5) == 5
+    assert percentile(values, 0.9) == 9
+    assert percentile(values, 0.99) == 10
+    assert percentile(values, 0.01) == 1
+    assert percentile([], 0.5) == 0.0
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=1000), min_size=1, max_size=40))
+def test_percentile_bounds(durations):
+    values = sorted(durations)
+    for q in (0.1, 0.5, 0.9, 1.0):
+        p = percentile(values, q)
+        assert values[0] <= p <= values[-1]
+
+
+def test_histogram_covers_all_pauses():
+    rows = histogram(PAUSES, buckets=4)
+    assert sum(count for _, _, count in rows) == len(PAUSES)
+    los = [lo for lo, _, _ in rows]
+    assert los == sorted(los)
+
+
+def test_histogram_single_value():
+    rows = histogram([(0, 5), (10, 15)], buckets=4)
+    assert sum(c for _, _, c in rows) == 2
+
+
+def test_histogram_empty():
+    assert histogram([]) == []
+    assert render_histogram([]) == "(no pauses)"
+
+
+def test_render_histogram_bars():
+    text = render_histogram(PAUSES, buckets=3)
+    assert "#" in text
+    assert len(text.splitlines()) == 3
+
+
+def test_worst_cluster_sees_adjacent_pauses():
+    clustered = [(0, 10), (12, 22)]
+    spread = [(0, 10), (500, 510)]
+    total = 1000.0
+    assert worst_cluster(clustered, 30, total) == pytest.approx(20)
+    assert worst_cluster(spread, 30, total) == pytest.approx(10)
+    assert worst_cluster([], 30, total) == 0.0
+
+
+def test_worst_cluster_never_exceeds_window():
+    value = worst_cluster(PAUSES, 25, 300.0)
+    assert value <= 25

@@ -1,0 +1,55 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.analysis.plots import ascii_chart
+
+
+MULT = [1.0, 1.5, 3.0]
+
+
+def test_chart_contains_axes_and_legend():
+    text = ascii_chart(MULT, {"x": [2.0, 1.5, 1.0]}, "T")
+    assert text.startswith("T")
+    assert "A=x" in text
+    assert "2.00" in text and "1.00" in text  # y-axis labels
+    assert "1.50" in text  # x tick
+
+
+def test_chart_places_each_point():
+    text = ascii_chart(MULT, {"x": [2.0, 1.5, 1.0]}, "T")
+    assert text.count("A") >= 3 + 1  # three points + legend
+
+
+def test_gap_leaves_blank_column():
+    with_gap = ascii_chart(MULT, {"x": [None, 1.5, 1.0]}, "T")
+    without = ascii_chart(MULT, {"x": [2.0, 1.5, 1.0]}, "T")
+    assert with_gap.count("A") == without.count("A") - 1
+
+
+def test_coincident_curves_starred():
+    text = ascii_chart(MULT, {"x": [1.0, 1.0, 1.0], "y": [1.0, 1.0, 1.0]}, "T")
+    assert "*" in text
+
+
+def test_two_series_two_glyphs():
+    text = ascii_chart(MULT, {"x": [2.0, 1.6, 1.2], "y": [1.8, 1.4, 1.0]}, "T")
+    assert "A=x" in text and "B=y" in text
+    assert "B" in text.split("\n")[1:][0] or any(
+        "B" in line for line in text.splitlines()[1:-2]
+    )
+
+
+def test_empty_and_degenerate_inputs():
+    assert "(no data)" in ascii_chart(MULT, {}, "T")
+    assert "(all runs failed)" in ascii_chart(MULT, {"x": [None, None, None]}, "T")
+    # constant series must not divide by zero
+    text = ascii_chart(MULT, {"x": [1.0, 1.0, 1.0]}, "T")
+    assert "A" in text
+
+
+def test_extremes_on_boundary_rows():
+    text = ascii_chart(MULT, {"x": [5.0, 3.0, 1.0]}, "T", height=10)
+    lines = text.splitlines()
+    top_row = lines[1]
+    bottom_row = lines[10]
+    assert "A" in top_row  # the max lands on the top row
+    assert "A" in bottom_row  # the min lands on the bottom row

@@ -1,0 +1,80 @@
+"""Unit tests for series arithmetic (geomean, relative-to-best, gaps)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.series import (
+    best_value,
+    geomean_across,
+    geometric_mean,
+    improvement_percent,
+    relative_to_best,
+)
+
+
+def test_geometric_mean_basics():
+    assert geometric_mean([4, 4]) == pytest.approx(4)
+    assert geometric_mean([1, 100]) == pytest.approx(10)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1, 0])
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=20))
+def test_geometric_mean_bounds(values):
+    mean = geometric_mean(values)
+    assert min(values) <= mean * (1 + 1e-9)
+    assert mean <= max(values) * (1 + 1e-9)
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=1e3), min_size=1, max_size=10),
+    st.floats(min_value=0.1, max_value=10),
+)
+def test_geometric_mean_scale_invariant(values, factor):
+    scaled = [v * factor for v in values]
+    assert geometric_mean(scaled) == pytest.approx(
+        geometric_mean(values) * factor, rel=1e-6
+    )
+
+
+def test_geomean_across_alignment():
+    out = geomean_across([[1.0, 4.0], [4.0, 9.0]])
+    assert out[0] == pytest.approx(2.0)
+    assert out[1] == pytest.approx(6.0)
+    with pytest.raises(ValueError):
+        geomean_across([[1.0], [1.0, 2.0]])
+
+
+def test_geomean_across_gap_propagates():
+    out = geomean_across([[1.0, None], [4.0, 9.0]])
+    assert out[0] == pytest.approx(2.0)
+    assert out[1] is None
+
+
+def test_relative_to_best():
+    series = {"a": [2.0, 4.0], "b": [8.0, None]}
+    rel = relative_to_best(series)
+    assert rel["a"] == [pytest.approx(1.0), pytest.approx(2.0)]
+    assert rel["b"][0] == pytest.approx(4.0)
+    assert rel["b"][1] is None
+
+
+def test_relative_to_best_all_gaps():
+    series = {"a": [None, None]}
+    assert relative_to_best(series) == {"a": [None, None]}
+
+
+def test_best_value():
+    assert best_value({"a": [3.0, None], "b": [5.0, 2.0]}) == 2.0
+    assert best_value({"a": [None]}) is None
+
+
+def test_improvement_percent():
+    assert improvement_percent(100.0, 60.0) == pytest.approx(40.0)
+    assert improvement_percent(100.0, 100.0) == 0.0
+    assert improvement_percent(100.0, 110.0) == pytest.approx(-10.0)

@@ -1,0 +1,108 @@
+"""Unit tests for belts and increments."""
+
+import pytest
+
+from repro.core.belt import Belt
+from repro.core.config import BeltSpec
+from repro.errors import HeapCorruption
+from repro.heap import AddressSpace
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(heap_frames=16, frame_shift=8)
+
+
+def make_belt(space, pct=50, index=0):
+    return Belt(index, BeltSpec(pct), space, space.heap_frames)
+
+
+def test_open_increment_fifo(space):
+    belt = make_belt(space)
+    a = belt.open_increment()
+    b = belt.open_increment()
+    assert list(belt) == [a, b]
+    assert belt.youngest() is b
+
+
+def test_increment_alloc_and_growth(space):
+    belt = make_belt(space, pct=50)  # 16*50/150 = 5 frames max
+    inc = belt.open_increment()
+    assert inc.max_frames == 5
+    assert inc.alloc(4) == 0  # no frame yet
+    inc.add_frame()
+    addr = inc.alloc(4)
+    assert addr != 0
+    assert inc.occupancy_words == 4
+    assert not inc.is_empty
+
+
+def test_increment_at_max_size(space):
+    belt = Belt(0, BeltSpec(10), space, space.heap_frames)  # 1 frame max
+    inc = belt.open_increment()
+    inc.add_frame()
+    assert inc.at_max_size
+    with pytest.raises(HeapCorruption):
+        inc.add_frame()
+
+
+def test_growable_increment_never_max(space):
+    belt = make_belt(space, pct=100)
+    inc = belt.open_increment()
+    for _ in range(4):
+        inc.add_frame()
+    assert not inc.at_max_size
+
+
+def test_frames_carry_increment_and_stamp(space):
+    belt = make_belt(space)
+    inc = belt.open_increment()
+    inc.stamp = 7
+    inc.add_frame()
+    frame = inc.region.frames[0]
+    assert frame.increment is inc
+    assert frame.collect_order == 7
+    assert space.orders[frame.index] == 7
+
+
+def test_oldest_collectible_skips_empty(space):
+    belt = make_belt(space)
+    empty = belt.open_increment()
+    full = belt.open_increment()
+    full.add_frame()
+    full.alloc(8)
+    assert belt.oldest_collectible() is full
+    empty.add_frame()
+    assert belt.oldest_collectible() is full  # frame but no allocation
+
+
+def test_remove(space):
+    belt = make_belt(space)
+    a = belt.open_increment()
+    belt.remove(a)
+    assert belt.num_increments == 0
+    with pytest.raises(HeapCorruption):
+        belt.remove(a)
+
+
+def test_belt_aggregates(space):
+    belt = make_belt(space)
+    a = belt.open_increment()
+    a.add_frame()
+    a.alloc(10)
+    b = belt.open_increment()
+    b.add_frame()
+    b.alloc(20)
+    assert belt.occupancy_words == 30
+    assert belt.num_frames == 2
+    assert not belt.is_empty
+
+
+def test_frame_indices(space):
+    belt = make_belt(space)
+    inc = belt.open_increment()
+    inc.add_frame()
+    inc.add_frame()
+    indices = inc.frame_indices()
+    assert len(indices) == 2
+    assert all(isinstance(i, int) for i in indices)

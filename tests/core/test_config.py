@@ -1,0 +1,133 @@
+"""Unit tests for Beltway configuration parsing (paper §3.1–3.2 notation)."""
+
+import pytest
+
+from repro.core.config import (
+    GROWABLE,
+    PAPER_CONFIGS,
+    BeltSpec,
+    BeltwayConfig,
+    PromotionStyle,
+)
+from repro.errors import ConfigError
+
+
+def test_parse_semispace():
+    for text in ("SS", "BSS", "semispace", "100"):
+        cfg = BeltwayConfig.parse(text)
+        assert len(cfg.belts) == 1
+        assert cfg.belts[0].growable
+        assert cfg.style is PromotionStyle.GENERATIONAL
+
+
+def test_parse_appel():
+    cfg = BeltwayConfig.parse("Appel")
+    assert len(cfg.belts) == 2
+    assert all(b.growable for b in cfg.belts)
+    cfg2 = BeltwayConfig.parse("100.100")
+    assert cfg2.belts == cfg.belts
+
+
+def test_parse_three_generation():
+    cfg = BeltwayConfig.parse("100.100.100")
+    assert len(cfg.belts) == 3
+    assert cfg.is_complete
+
+
+def test_parse_beltway_xx():
+    cfg = BeltwayConfig.parse("25.25")
+    assert [b.increment_pct for b in cfg.belts] == [25, 25]
+    assert cfg.belts[0].max_increments == 1  # nursery trigger
+    assert cfg.belts[1].max_increments is None
+    assert not cfg.is_complete  # the paper's completeness failure
+
+
+def test_parse_beltway_xx100():
+    cfg = BeltwayConfig.parse("25.25.100")
+    assert [b.increment_pct for b in cfg.belts] == [25, 25, 100]
+    assert cfg.is_complete
+
+
+def test_parse_bof_and_bofm():
+    bof = BeltwayConfig.parse("BOF.33")
+    assert bof.style is PromotionStyle.OLDER_FIRST
+    assert [b.increment_pct for b in bof.belts] == [33, 33]
+    assert not bof.is_complete
+    bofm = BeltwayConfig.parse("BOFM.25")
+    assert bofm.style is PromotionStyle.OLDER_FIRST_MIX
+    assert len(bofm.belts) == 1
+    assert not bofm.is_complete
+
+
+def test_parse_fixed_nursery():
+    cfg = BeltwayConfig.parse("Fixed.25")
+    assert cfg.belts[0].increment_pct == 25
+    assert cfg.belts[0].max_increments == 1
+    assert cfg.belts[1].growable
+
+
+def test_parse_rejects_garbage():
+    for text in ("", "banana", "0.25", "25.", "101.10", "BOF.0"):
+        with pytest.raises(ConfigError):
+            BeltwayConfig.parse(text)
+
+
+def test_all_paper_configs_parse():
+    for text in PAPER_CONFIGS:
+        cfg = BeltwayConfig.parse(text)
+        assert cfg.belts
+
+
+def test_increment_frames_sizing():
+    """An X% -of-usable increment occupies X/(100+X) of the heap."""
+    spec = BeltSpec(100)
+    assert spec.increment_frames(100) is None  # growable
+    assert BeltSpec(50).increment_frames(150) == 50  # 50/150
+    assert BeltSpec(25).increment_frames(125) == 25  # 25/125 = 20%
+    assert BeltSpec(33).increment_frames(133) == 33
+    assert BeltSpec(10).increment_frames(4) == 1  # floor, min 1 frame
+
+
+def test_appel_increment_is_half_heap_equivalent():
+    """X=100 is growable: bounded only by the reserve, i.e. half the heap."""
+    assert BeltSpec(GROWABLE).growable
+
+
+def test_bad_belt_counts():
+    with pytest.raises(ConfigError):
+        BeltwayConfig(name="x", belts=())
+    with pytest.raises(ConfigError):
+        BeltwayConfig(
+            name="x",
+            belts=(BeltSpec(25),),
+            style=PromotionStyle.OLDER_FIRST,
+        )
+    with pytest.raises(ConfigError):
+        BeltwayConfig(
+            name="x",
+            belts=(BeltSpec(25), BeltSpec(25)),
+            style=PromotionStyle.OLDER_FIRST_MIX,
+        )
+
+
+def test_ttd_requires_two_nursery_increments():
+    with pytest.raises(ConfigError):
+        BeltwayConfig(
+            name="x",
+            belts=(BeltSpec(25, max_increments=1), BeltSpec(25)),
+            time_to_die_bytes=1024,
+        )
+    cfg = BeltwayConfig(
+        name="x",
+        belts=(BeltSpec(25, max_increments=2), BeltSpec(25)),
+        time_to_die_bytes=1024,
+    )
+    assert cfg.time_to_die_bytes == 1024
+
+
+def test_describe_and_completeness():
+    cfg = BeltwayConfig.parse("33.33.100")
+    text = cfg.describe()
+    assert "33.33.100" in text
+    assert BeltwayConfig.parse("BSS").is_complete
+    assert BeltwayConfig.parse("Appel").is_complete

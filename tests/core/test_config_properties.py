@@ -1,0 +1,76 @@
+"""Property-based tests for configuration parsing and sizing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BeltSpec, BeltwayConfig
+from repro.errors import ConfigError
+
+pcts = st.integers(min_value=1, max_value=100)
+
+
+@given(st.lists(pcts, min_size=2, max_size=4))
+@settings(max_examples=80, deadline=None)
+def test_numeric_configs_roundtrip(values):
+    text = ".".join(str(v) for v in values)
+    config = BeltwayConfig.parse(text)
+    assert [b.increment_pct for b in config.belts] == values
+    assert config.name == text
+    # the nursery gets the single-increment bound (the nursery trigger)
+    assert config.belts[0].max_increments == 1
+    # re-parsing the name reproduces the configuration
+    again = BeltwayConfig.parse(config.name)
+    assert again.belts == config.belts
+
+
+@given(pcts, st.integers(min_value=4, max_value=4096))
+@settings(max_examples=100, deadline=None)
+def test_increment_frames_bounds(pct, heap_frames):
+    spec = BeltSpec(pct)
+    frames = spec.increment_frames(heap_frames)
+    if pct >= 100:
+        assert frames is None
+        return
+    assert 1 <= frames
+    # an X%-of-usable increment can never exceed X/(100+X) of the heap
+    assert frames <= max(1, heap_frames * pct // (100 + pct))
+
+
+@given(pcts, st.integers(min_value=8, max_value=2048))
+@settings(max_examples=80, deadline=None)
+def test_increment_frames_monotone_in_heap(pct, heap_frames):
+    if pct >= 100:
+        return
+    spec = BeltSpec(pct)
+    small = spec.increment_frames(heap_frames)
+    large = spec.increment_frames(heap_frames * 2)
+    assert large >= small
+
+
+@given(st.integers(min_value=1, max_value=99), st.integers(min_value=8, max_value=512))
+@settings(max_examples=80, deadline=None)
+def test_bigger_percentage_never_smaller_increment(pct, heap_frames):
+    smaller = BeltSpec(pct).increment_frames(heap_frames)
+    bigger = BeltSpec(min(99, pct + 10)).increment_frames(heap_frames)
+    assert bigger >= smaller
+
+
+@given(st.text(max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_parse_never_crashes_unexpectedly(text):
+    """parse() either returns a config or raises ConfigError — nothing
+    else, for any input."""
+    try:
+        config = BeltwayConfig.parse(text)
+    except ConfigError:
+        return
+    assert config.belts
+
+
+def test_mos_variants_roundtrip():
+    for text in ("25.25.MOS", "10.50.mos"):
+        config = BeltwayConfig.parse(text)
+        assert config.mos_top_belt
+        assert len(config.belts) == 3
+        assert config.is_complete

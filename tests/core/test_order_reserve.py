@@ -1,0 +1,132 @@
+"""Unit tests for collection-order stamping and the dynamic copy reserve."""
+
+import pytest
+
+from repro.core.belt import Belt
+from repro.core.config import BeltSpec
+from repro.core.order import restamp
+from repro.core.reserve import SLACK_FRAMES, required_reserve_frames
+from repro.heap import AddressSpace
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(heap_frames=32, frame_shift=8)
+
+
+def belt_with(space, index, pct, fill_frames):
+    """A belt with one increment occupying ``fill_frames`` frames."""
+    belt = Belt(index, BeltSpec(pct), space, space.heap_frames)
+    if fill_frames:
+        inc = belt.open_increment()
+        for _ in range(fill_frames):
+            inc.add_frame()
+            inc.alloc(space.frame_words)
+    return belt
+
+
+# ----------------------------------------------------------------------
+# restamp
+# ----------------------------------------------------------------------
+def test_restamp_orders_belts_bottom_up(space):
+    b0 = belt_with(space, 0, 100, 2)
+    b1 = belt_with(space, 1, 100, 3)
+    count = restamp(space, [b0, b1])
+    assert count == 2
+    assert b0.increments[0].stamp < b1.increments[0].stamp
+    for frame in b0.increments[0].region.frames:
+        assert frame.collect_order == b0.increments[0].stamp
+
+
+def test_restamp_fifo_within_belt(space):
+    belt = Belt(0, BeltSpec(25), space, space.heap_frames)
+    old = belt.open_increment()
+    old.add_frame()
+    old.alloc(4)
+    young = belt.open_increment()
+    young.add_frame()
+    young.alloc(4)
+    restamp(space, [belt])
+    assert old.stamp < young.stamp
+
+
+def test_restamp_shared_stamp_across_increment_frames(space):
+    belt = Belt(0, BeltSpec(50), space, space.heap_frames)
+    inc = belt.open_increment()
+    inc.add_frame()
+    inc.add_frame()
+    restamp(space, [belt])
+    orders = {frame.collect_order for frame in inc.region.frames}
+    assert len(orders) == 1
+
+
+# ----------------------------------------------------------------------
+# reserve
+# ----------------------------------------------------------------------
+def target_next(top):
+    return lambda b: min(b + 1, top)
+
+
+def test_semispace_reserve_equals_occupancy(space):
+    b0 = belt_with(space, 0, 100, 6)
+    reserve = required_reserve_frames([b0], target_next(0), b0.increments[0])
+    assert reserve == 6 + SLACK_FRAMES
+
+
+def test_appel_reserve_is_old_plus_nursery(space):
+    nursery = belt_with(space, 0, 100, 4)
+    old = belt_with(space, 1, 100, 7)
+    reserve = required_reserve_frames(
+        [nursery, old], target_next(1), nursery.increments[0]
+    )
+    assert reserve == 7 + 4 + SLACK_FRAMES
+
+
+def test_fixed_alloc_increment_anticipates_growth(space):
+    """A bounded nursery is counted at its max size, not current occupancy."""
+    nursery = belt_with(space, 0, 25, 1)  # max = 32*25/125 = 6 frames
+    old = belt_with(space, 1, 100, 5)
+    alloc_inc = nursery.increments[0]
+    assert alloc_inc.max_frames == 6
+    reserve = required_reserve_frames([nursery, old], target_next(1), alloc_inc)
+    assert reserve == 5 + 6 + SLACK_FRAMES
+
+
+def test_fixed_belt_potential_capped_at_increment_size(space):
+    """Overflow into fresh increments bounds any one increment's future
+    occupancy by the belt's increment size (X.X's small-reserve advantage)."""
+    b0 = belt_with(space, 0, 25, 6)  # increment size 6
+    b1 = belt_with(space, 1, 25, 6)
+    b1_young = b1.open_increment()
+    b1_young.add_frame()
+    b1_young.alloc(4)
+    # b1's youngest potential = min(1 + 6, 6) = 6, not 7.
+    reserve = required_reserve_frames([b0, b1], lambda b: 1, b0.increments[0])
+    assert reserve == 6 + SLACK_FRAMES
+
+
+def test_growable_receiver_uncapped(space):
+    b0 = belt_with(space, 0, 25, 6)
+    b2 = belt_with(space, 1, 100, 10)  # the X.X.100 third belt, index 1 here
+    reserve = required_reserve_frames([b0, b2], lambda b: 1, b0.increments[0])
+    # third belt potential = 10 + 6; reserve grows as the belt fills (§3.3.4)
+    assert reserve == 16 + SLACK_FRAMES
+
+
+def test_empty_heap_zero_reserve(space):
+    b0 = Belt(0, BeltSpec(100), space, space.heap_frames)
+    assert required_reserve_frames([b0], target_next(0), None) == 0
+
+
+def test_reserve_falls_after_collection(space):
+    """§3.3.4: 'the copy reserve automatically falls back to a smaller
+    size' once the big increment is gone."""
+    b0 = belt_with(space, 0, 25, 2)
+    b1 = belt_with(space, 1, 100, 12)
+    before = required_reserve_frames([b0, b1], target_next(1), b0.increments[0])
+    big = b1.increments[0]
+    for frame in list(big.region.frames):
+        space.release_frame(frame)
+    b1.remove(big)
+    after = required_reserve_frames([b0, b1], target_next(1), b0.increments[0])
+    assert after < before

@@ -1,0 +1,71 @@
+"""Unit tests for the per-frame-pair remembered sets."""
+
+from repro.core.remset import RememberedSets
+
+
+def test_insert_and_count():
+    rs = RememberedSets()
+    rs.insert(3, 1, 0x1000)
+    rs.insert(3, 1, 0x1004)
+    rs.insert(4, 1, 0x2000)
+    assert len(rs) == 3
+    assert rs.inserts == 3
+
+
+def test_duplicate_slots_deduplicated():
+    rs = RememberedSets()
+    rs.insert(3, 1, 0x1000)
+    rs.insert(3, 1, 0x1000)
+    assert len(rs) == 1
+    assert rs.inserts == 2
+    assert rs.duplicate_inserts == 1
+
+
+def test_same_slot_different_pairs_kept():
+    """A slot overwritten with a pointer to a different frame appears under
+    both pairs; re-reading at collection time disambiguates."""
+    rs = RememberedSets()
+    rs.insert(3, 1, 0x1000)
+    rs.insert(3, 2, 0x1000)
+    assert len(rs) == 2
+
+
+def test_slots_into_targets():
+    rs = RememberedSets()
+    rs.insert(3, 1, 0x1000)
+    rs.insert(4, 1, 0x2000)
+    rs.insert(3, 2, 0x3000)
+    got = sorted(rs.slots_into({1}, set()))
+    assert got == [0x1000, 0x2000]
+
+
+def test_slots_into_excludes_sources():
+    """Remsets between increments collected together are ignored (§3.3.2)."""
+    rs = RememberedSets()
+    rs.insert(3, 1, 0x1000)  # 3 -> 1: both collected, ignore
+    rs.insert(4, 1, 0x2000)  # outside -> 1: needed
+    got = list(rs.slots_into({1, 3}, {1, 3}))
+    assert got == [0x2000]
+
+
+def test_drop_frames_wholesale():
+    rs = RememberedSets()
+    rs.insert(3, 1, 0x1000)
+    rs.insert(1, 4, 0x2000)  # sourced in dropped frame
+    rs.insert(5, 6, 0x3000)  # unrelated
+    dropped = rs.drop_frames({1})
+    assert dropped == 2
+    assert len(rs) == 1
+    assert list(rs.slots_into({6}, set())) == [0x3000]
+
+
+def test_drop_frames_empty():
+    rs = RememberedSets()
+    assert rs.drop_frames({9}) == 0
+
+
+def test_entries_for_pair():
+    rs = RememberedSets()
+    rs.insert(3, 1, 0x1000)
+    assert rs.entries_for_pair(3, 1) == {0x1000}
+    assert rs.entries_for_pair(1, 3) == set()

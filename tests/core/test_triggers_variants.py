@@ -1,0 +1,222 @@
+"""Tests for collection triggers, configuration variants and ablations.
+
+Covers the parts of §3.3.3 beyond the default nursery trigger: the remset
+trigger, the time-to-die trigger (two nursery increments), asymmetric
+X.Y configurations, and the ablation flags (fixed half-heap reserve,
+collect-together disabled).
+"""
+
+import pytest
+
+from repro.core import BeltwayConfig
+from repro.errors import OutOfMemory
+from repro.runtime import VM, MutatorContext
+
+
+def make_vm(config, frames=96, **kwargs):
+    vm = VM(heap_bytes=frames * 256, collector=config, debug_verify=True, **kwargs)
+    vm.define_type("node", nrefs=2, nscalars=1)
+    return vm, MutatorContext(vm)
+
+
+def churn(vm, mu, n, survive_every=0, window=0):
+    node = vm.types.by_name("node")
+    keep = []
+    for i in range(n):
+        h = mu.alloc(node)
+        if survive_every and i % survive_every == 0:
+            keep.append(h)
+            if window and len(keep) > window:
+                keep.pop(0).drop()
+        else:
+            h.drop()
+    return keep
+
+
+# ----------------------------------------------------------------------
+# Remset trigger
+# ----------------------------------------------------------------------
+def test_remset_trigger_fires():
+    config = BeltwayConfig.parse("25.25.100").with_remset_trigger(40)
+    vm, mu = make_vm(config)
+    node = vm.types.by_name("node")
+    # a population of old objects (remsets deduplicate per slot, so the
+    # entries must come from many distinct slots)
+    olds = [mu.alloc(node) for _ in range(60)]
+    churn(vm, mu, 800)  # age them
+    for i in range(600):
+        young = mu.alloc(node)
+        mu.write(olds[i % len(olds)], i % 2, young)
+        young.drop()
+    reasons = {r.reason for r in vm.plan.collections}
+    assert "remset" in reasons
+    vm.plan.verify()
+
+
+def test_remset_trigger_name():
+    config = BeltwayConfig.parse("25.25").with_remset_trigger(100)
+    assert config.remset_trigger_entries == 100
+    assert "rs100" in config.name
+
+
+def test_no_remset_trigger_by_default():
+    vm, mu = make_vm("25.25.100")
+    churn(vm, mu, 2000, survive_every=10, window=40)
+    assert all(r.reason != "remset" for r in vm.plan.collections)
+
+
+# ----------------------------------------------------------------------
+# Time-to-die trigger
+# ----------------------------------------------------------------------
+def test_ttd_config_construction():
+    config = BeltwayConfig.parse("25.25.100").with_time_to_die(2048)
+    assert config.time_to_die_bytes == 2048
+    assert config.belts[0].max_increments >= 2
+    assert "ttd2048" in config.name
+
+
+def test_ttd_opens_second_nursery_increment():
+    config = BeltwayConfig.parse("25.25.100").with_time_to_die(4 * 1024)
+    vm, mu = make_vm(config, frames=64)
+    churn(vm, mu, 4000, survive_every=15, window=40)
+    # at some point the nursery belt must have held two increments
+    nursery_multi = any(
+        r.reason in ("full", "remset") for r in vm.plan.collections
+    )
+    assert vm.plan.collections
+    vm.plan.verify()
+
+
+def test_ttd_spares_youngest_objects():
+    """Objects allocated within the TTD window survive the collection that
+    would otherwise have taken them (they are in the second increment)."""
+    ttd = 3 * 1024
+    config = BeltwayConfig.parse("25.25.100").with_time_to_die(ttd)
+    vm, mu = make_vm(config, frames=64)
+    node = vm.types.by_name("node")
+    baseline_gcs = 0
+    survived_young = 0
+    for round_ in range(500):
+        h = mu.alloc(node)
+        before = len(vm.plan.collections)
+        for _ in range(3):
+            mu.alloc(node).drop()
+        if len(vm.plan.collections) > before and not h.is_null:
+            survived_young += 1
+        h.drop()
+    vm.plan.verify()
+    assert len(vm.plan.collections) > 0
+
+
+# ----------------------------------------------------------------------
+# Asymmetric X.Y configurations
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("config", ["10.50", "50.10", "10.25.100", "33.66"])
+def test_asymmetric_configs_run(config):
+    vm, mu = make_vm(config, frames=96)
+    keep = churn(vm, mu, 3000, survive_every=12, window=60)
+    assert vm.plan.collections
+    vm.plan.verify()
+
+
+def test_asymmetric_increment_sizes_differ():
+    vm, _ = make_vm("10.50")
+    frames_b0 = vm.plan.belts[0].increment_frames
+    frames_b1 = vm.plan.belts[1].increment_frames
+    assert frames_b0 < frames_b1
+
+
+# ----------------------------------------------------------------------
+# Ablations
+# ----------------------------------------------------------------------
+def test_fixed_half_reserve_reduces_capacity():
+    """The dynamic conservative reserve lets incremental configurations
+    use more of the heap: with the classic half-heap reserve the same
+    workload needs a larger heap."""
+    import dataclasses
+
+    dynamic = BeltwayConfig.parse("25.25")
+    fixed = dataclasses.replace(
+        dynamic, name="25.25-halfres", fixed_half_reserve=True
+    )
+
+    def min_frames(config):
+        for frames in range(12, 200, 2):
+            vm, mu = make_vm(config, frames=frames)
+            try:
+                churn(vm, mu, 2500, survive_every=10, window=80)
+                return frames
+            except OutOfMemory:
+                continue
+        raise AssertionError("no heap size worked")
+
+    assert min_frames(dynamic) < min_frames(fixed)
+
+
+def test_combine_disabled_still_correct():
+    import dataclasses
+
+    config = dataclasses.replace(
+        BeltwayConfig.parse("Appel"), name="Appel-nocombine", enable_combine=False
+    )
+    vm, mu = make_vm(config, frames=96)
+    keep = churn(vm, mu, 4000, survive_every=8, window=120)
+    vm.plan.verify()
+    # escalation alone must still reach the old belt
+    assert any(1 in r.belts_collected for r in vm.plan.collections)
+
+
+def test_combine_batches_when_old_belt_is_half_the_heap():
+    """When the receiver belt has reached half the heap and the nursery is
+    non-empty, the scheduler batches them into one full-heap collection
+    (the paper's collect-together optimisation).  White-box: the belt
+    state is fabricated directly."""
+    vm, _ = make_vm("Appel", frames=64)
+    heap = vm.plan
+    old_inc = heap.open_increment(heap.belts[1])
+    for _ in range(33):  # past half of the 64-frame heap
+        old_inc.add_frame()
+        old_inc.alloc(60)
+    nursery_inc = heap.open_increment(heap.belts[0])
+    nursery_inc.add_frame()
+    nursery_inc.alloc(10)
+    heap.restamp()
+    batch = heap.policy.choose_collection(heap)
+    belts = {inc.belt.index for inc in batch}
+    assert belts == {0, 1}, f"expected a combined batch, got belts {belts}"
+
+
+def test_no_combine_when_old_belt_small():
+    vm, _ = make_vm("Appel", frames=64)
+    heap = vm.plan
+    old_inc = heap.open_increment(heap.belts[1])
+    for _ in range(8):
+        old_inc.add_frame()
+        old_inc.alloc(60)
+    nursery_inc = heap.open_increment(heap.belts[0])
+    nursery_inc.add_frame()
+    nursery_inc.alloc(10)
+    heap.restamp()
+    batch = heap.policy.choose_collection(heap)
+    assert {inc.belt.index for inc in batch} == {0}
+
+
+# ----------------------------------------------------------------------
+# Boot ballast
+# ----------------------------------------------------------------------
+def test_boot_ballast_scanned_by_gctk_only():
+    vm_g, mu_g = make_vm("gctk:Appel", frames=64)
+    churn(vm_g, mu_g, 1200)
+    assert vm_g.plan.collections
+    assert all(r.boot_slots_scanned > 1000 for r in vm_g.plan.collections)
+
+    vm_b, mu_b = make_vm("Appel", frames=64)
+    churn(vm_b, mu_b, 1200)
+    assert vm_b.plan.collections
+    assert all(r.boot_slots_scanned == 0 for r in vm_b.plan.collections)
+
+
+def test_boot_ballast_size_configurable():
+    vm0 = VM(heap_bytes=16 * 1024, collector="BSS", boot_ballast_slots=0)
+    vm1 = VM(heap_bytes=16 * 1024, collector="BSS", boot_ballast_slots=800)
+    assert vm1.space.boot_frames_in_use > vm0.space.boot_frames_in_use

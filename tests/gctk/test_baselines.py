@@ -1,0 +1,184 @@
+"""Tests for the independent gctk baseline collectors."""
+
+import pytest
+
+from repro.errors import ConfigError, OutOfMemory
+from repro.gctk import make_gctk_plan
+from repro.runtime import VM, MutatorContext
+
+
+def make_vm(config, frames=96):
+    vm = VM(heap_bytes=frames * 256, collector=config, debug_verify=True)
+    vm.define_type("node", nrefs=2, nscalars=1)
+    return vm, MutatorContext(vm)
+
+
+def churn(vm, mu, n, survive_every=0, keep=None):
+    node = vm.types.by_name("node")
+    keep = keep if keep is not None else []
+    for i in range(n):
+        h = mu.alloc(node)
+        if survive_every and i % survive_every == 0:
+            keep.append(h)
+        else:
+            h.drop()
+    return keep
+
+
+def test_factory_names():
+    vm = VM(heap_bytes=64 * 256, collector="gctk:SS")
+    assert vm.collector_name == "gctk:SS"
+    vm = VM(heap_bytes=64 * 256, collector="gctk:Appel")
+    assert vm.collector_name == "gctk:Appel"
+    vm = VM(heap_bytes=64 * 256, collector="gctk:Fixed.25")
+    assert vm.collector_name == "gctk:Fixed.25"
+
+
+def test_factory_rejects_unknown():
+    with pytest.raises(ConfigError):
+        VM(heap_bytes=64 * 256, collector="gctk:banana")
+
+
+@pytest.mark.parametrize("config", ["gctk:SS", "gctk:Appel", "gctk:Fixed.25"])
+def test_reclamation(config):
+    vm, mu = make_vm(config, frames=48)
+    node = vm.types.by_name("node")
+    heap_words = vm.space.heap_frames * vm.space.frame_words
+    total = 0
+    for _ in range(5000):
+        mu.alloc(node).drop()
+        total += node.size_words()
+    assert total > 5 * heap_words
+    assert vm.plan.collections
+
+
+@pytest.mark.parametrize("config", ["gctk:SS", "gctk:Appel", "gctk:Fixed.25"])
+def test_survivors_intact(config):
+    vm, mu = make_vm(config, frames=192)
+    node = vm.types.by_name("node")
+    head = mu.handle()
+    for i in range(300):
+        n = mu.alloc(node)
+        mu.write_int(n, 0, i)
+        mu.write(n, 0, head)
+        head.addr = n.addr
+        n.drop()
+        mu.alloc(node).drop()
+        mu.alloc(node).drop()
+    expect = 299
+    cursor = mu.copy_handle(head)
+    while not cursor.is_null:
+        assert mu.read_int(cursor, 0) == expect
+        expect -= 1
+        nxt = mu.read(cursor, 0)
+        cursor.drop()
+        cursor = nxt
+    assert expect == -1
+    vm.plan.verify()
+
+
+def test_appel_minor_then_major():
+    vm, mu = make_vm("gctk:Appel", frames=64)
+    node = vm.types.by_name("node")
+    keep = []
+    for i in range(8000):
+        h = mu.alloc(node)
+        if i % 5 == 0:
+            keep.append(h)
+            if len(keep) > 100:  # rotate: promoted objects later die,
+                keep.pop(0).drop()  # filling the mature space with garbage
+        else:
+            h.drop()
+    reasons = [r.reason for r in vm.plan.collections]
+    assert "minor" in reasons
+    assert "major" in reasons
+    # majors are rarer than minors for a mostly-dying workload
+    assert reasons.count("minor") > reasons.count("major")
+
+
+def test_appel_nursery_shrinks_as_mature_grows():
+    vm, mu = make_vm("gctk:Appel", frames=64)
+    plan = vm.plan
+    cap0 = plan.nursery_capacity_frames()
+    churn(vm, mu, 1500, survive_every=8)
+    if plan.mature.num_frames:  # after some promotion
+        assert plan.nursery_capacity_frames() < cap0
+
+
+def test_fixed_nursery_is_fixed():
+    vm, mu = make_vm("gctk:Fixed.25", frames=64)
+    plan = vm.plan
+    assert plan.fixed_frames == max(1, (32 * 25) // 100)
+    assert plan.nursery_capacity_frames() == plan.fixed_frames
+    churn(vm, mu, 2000, survive_every=40)
+    assert plan.nursery_capacity_frames() == plan.fixed_frames
+
+
+def test_fixed_nursery_fails_in_tight_heaps():
+    """Fig. 6: fixed-nursery collectors fail outright at small heap sizes
+    where Appel still runs."""
+    live_nodes = 120
+
+    def attempt(config, frames):
+        vm, mu = make_vm(config, frames=frames)
+        try:
+            churn(vm, mu, 3000, survive_every=3000 // live_nodes)
+            return True
+        except OutOfMemory:
+            return False
+
+    appel_min = next(f for f in range(16, 257, 4) if attempt("gctk:Appel", f))
+    fixed_min = next(f for f in range(16, 257, 4) if attempt("gctk:Fixed.50", f))
+    assert fixed_min > appel_min
+
+
+def test_boot_rescan_counted():
+    vm, mu = make_vm("gctk:Appel", frames=64)
+    churn(vm, mu, 1200, survive_every=10)
+    assert vm.plan.collections
+    assert all(r.boot_slots_scanned > 0 for r in vm.plan.collections)
+
+
+def test_beltway_barrier_skips_boot_rescan():
+    vm, mu = make_vm("Appel", frames=64)
+    churn(vm, mu, 1200, survive_every=10)
+    assert vm.plan.collections
+    assert all(r.boot_slots_scanned == 0 for r in vm.plan.collections)
+
+
+def test_boundary_barrier_records_old_to_young():
+    vm, mu = make_vm("gctk:Appel", frames=96)
+    node = vm.types.by_name("node")
+    old = mu.alloc(node)
+    # age `old` into the mature space
+    churn(vm, mu, 1500)
+    assert vm.plan.collections, "nursery never collected"
+    before = vm.plan.ssb.inserts
+    young = mu.alloc(node)
+    mu.write(old, 0, young)  # mature -> nursery: must be remembered
+    assert vm.plan.ssb.inserts == before + 1
+    mu.write(young, 0, old)  # nursery -> mature: not remembered
+    assert vm.plan.ssb.inserts == before + 1
+
+
+def test_beltway_100_100_tracks_gctk_appel():
+    """Fig. 5: Beltway 100.100 behaves like the Appel baseline — same
+    collection count on an identical workload (barrier details differ)."""
+
+    def run(config):
+        vm, mu = make_vm(config, frames=96)
+        churn(vm, mu, 5000, survive_every=20)
+        return len(vm.plan.collections)
+
+    beltway = run("100.100")
+    gctk = run("gctk:Appel")
+    assert abs(beltway - gctk) <= max(2, gctk // 3)
+
+
+def test_semispace_equivalence_bss():
+    def run(config):
+        vm, mu = make_vm(config, frames=64)
+        churn(vm, mu, 4000, survive_every=40)
+        return len(vm.plan.collections)
+
+    assert abs(run("BSS") - run("gctk:SS")) <= 2

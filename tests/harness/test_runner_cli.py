@@ -1,0 +1,87 @@
+"""Tests for the runner, min-heap search, experiments machinery and CLI."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+from repro.harness.experiments import ExperimentResult, figure23
+from repro.harness.runner import FRAME_BYTES, find_min_heap, run_benchmark
+
+
+def test_run_benchmark_success():
+    stats = run_benchmark("jess", "25.25.100", 48 * 1024, scale=0.2)
+    assert stats.completed
+    assert stats.benchmark == "jess"
+    assert stats.collector == "25.25.100"
+
+
+def test_run_benchmark_failure_reported_not_raised():
+    stats = run_benchmark("jess", "gctk:Appel", 2 * 1024, scale=0.2)
+    assert not stats.completed
+    assert stats.failure
+
+
+def test_find_min_heap_is_minimal():
+    minimum = find_min_heap("jess", "gctk:Appel", scale=0.2)
+    assert minimum % FRAME_BYTES == 0
+    assert run_benchmark("jess", "gctk:Appel", minimum, scale=0.2).completed
+    below = minimum - FRAME_BYTES
+    assert not run_benchmark("jess", "gctk:Appel", below, scale=0.2).completed
+
+
+def test_experiment_result_checks():
+    result = ExperimentResult("x", "text", checks={"a": True, "b": False})
+    assert not result.all_checks_pass
+    assert result.failed_checks() == ["b"]
+    assert ExperimentResult("y", "t", checks={"a": True}).all_checks_pass
+
+
+def test_figure23_structural():
+    result = figure23()
+    assert result.all_checks_pass, result.failed_checks()
+    assert "BSS" in result.text
+    assert "belt 0" in result.text
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "jess" in out
+    assert "25.25.100" in out
+    assert "figure9" in out
+
+
+def test_cli_run(capsys):
+    code = main(
+        ["run", "--benchmark", "jess", "--collector", "25.25.100",
+         "--heap-kb", "48", "--scale", "0.1"]
+    )
+    assert code == 0
+    assert "jess" in capsys.readouterr().out
+
+
+def test_cli_run_failure_exit_code(capsys):
+    code = main(
+        ["run", "--benchmark", "jess", "--collector", "gctk:Appel",
+         "--heap-kb", "2", "--scale", "0.1"]
+    )
+    assert code == 1
+
+
+def test_cli_minheap(capsys):
+    code = main(["minheap", "--benchmark", "jess", "--scale", "0.1"])
+    assert code == 0
+    assert "min heap" in capsys.readouterr().out
+
+
+def test_cli_experiment_figure23(capsys):
+    code = main(["experiment", "figure23"])
+    assert code == 0
+    assert "shape checks PASS" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "figure99"])

@@ -1,0 +1,124 @@
+"""Unit tests for the AddressSpace frame table and load/store."""
+
+import pytest
+
+from repro.errors import InvalidAddress, OutOfMemory
+from repro.heap.frame import BOOT_ORDER, UNASSIGNED_ORDER
+from repro.heap.space import AddressSpace
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(heap_frames=4, frame_shift=8)  # 256-byte frames
+
+
+def test_frame_geometry(space):
+    assert space.frame_bytes == 256
+    assert space.frame_words == 64
+
+
+def test_acquire_and_budget(space):
+    frames = [space.acquire_frame("test") for _ in range(4)]
+    assert space.heap_frames_in_use == 4
+    assert space.heap_frames_free() == 0
+    with pytest.raises(OutOfMemory):
+        space.acquire_frame("test")
+    space.release_frame(frames[0])
+    assert space.heap_frames_free() == 1
+    again = space.acquire_frame("test")
+    assert again.index == frames[0].index  # recycled through the pool
+
+
+def test_boot_frames_outside_budget(space):
+    for _ in range(3):
+        space.acquire_frame("boot", boot=True)
+    assert space.heap_frames_in_use == 0
+    assert space.boot_frames_in_use == 3
+    # Boot frames are immortal.
+    boot = next(iter(space.iter_frames()))
+    assert boot.collect_order == BOOT_ORDER
+    with pytest.raises(InvalidAddress):
+        space.release_frame(boot)
+
+
+def test_frame_zero_is_never_mapped(space):
+    assert not space.is_mapped(0)
+    with pytest.raises(InvalidAddress):
+        space.load(0)
+    first = space.acquire_frame("test")
+    assert first.index >= 1
+
+
+def test_load_store_roundtrip(space):
+    frame = space.acquire_frame("test")
+    base = space.frame_base(frame)
+    space.store(base, 42)
+    space.store(base + 4, -7)
+    assert space.load(base) == 42
+    assert space.load(base + 4) == -7
+
+
+def test_store_misaligned_raises(space):
+    frame = space.acquire_frame("test")
+    base = space.frame_base(frame)
+    with pytest.raises(InvalidAddress):
+        space.store(base + 2, 1)
+
+
+def test_unmapped_access_raises(space):
+    frame = space.acquire_frame("test")
+    beyond = space.frame_base(frame) + space.frame_bytes * 10
+    with pytest.raises(InvalidAddress):
+        space.load(beyond)
+    with pytest.raises(InvalidAddress):
+        space.store(beyond, 0)
+
+
+def test_release_zeroes_storage(space):
+    frame = space.acquire_frame("test")
+    base = space.frame_base(frame)
+    frame.used_words = 3
+    space.store(base, 99)
+    space.release_frame(frame)
+    fresh = space.acquire_frame("test")
+    assert fresh is frame
+    assert space.load(space.frame_base(fresh)) == 0
+
+
+def test_release_unallocated_raises(space):
+    frame = space.acquire_frame("test")
+    space.release_frame(frame)
+    with pytest.raises(InvalidAddress):
+        space.release_frame(frame)
+
+
+def test_set_order_updates_flat_table(space):
+    frame = space.acquire_frame("test")
+    assert space.orders[frame.index] == UNASSIGNED_ORDER
+    space.set_order(frame, 17)
+    assert space.orders[frame.index] == 17
+    assert frame.collect_order == 17
+
+
+def test_access_counters(space):
+    frame = space.acquire_frame("test")
+    base = space.frame_base(frame)
+    before_loads, before_stores = space.load_count, space.store_count
+    space.store(base, 1)
+    space.load(base)
+    space.load(base)
+    assert space.store_count - before_stores == 1
+    assert space.load_count - before_loads == 2
+
+
+def test_minimum_heap_two_frames():
+    with pytest.raises(OutOfMemory):
+        AddressSpace(heap_frames=1)
+
+
+def test_iter_frames_skips_released(space):
+    a = space.acquire_frame("a")
+    b = space.acquire_frame("b")
+    space.release_frame(a)
+    live = list(space.iter_frames())
+    assert b in live and a not in live

@@ -1,0 +1,136 @@
+"""Tests for the heap verifier — including the error paths that catch
+collector bugs (the verifier must *fail*, loudly, on each corruption)."""
+
+import pytest
+
+from repro.errors import HeapCorruption
+from repro.heap import (
+    AddressSpace,
+    BootImage,
+    HeapVerifier,
+    ObjectModel,
+    TypeRegistry,
+    WORD_BYTES,
+)
+
+
+@pytest.fixture
+def env():
+    space = AddressSpace(heap_frames=8, frame_shift=10)
+    types = TypeRegistry()
+    model = ObjectModel(space, types)
+    boot = BootImage(space, types, model)
+    node = boot.define_type("node", nrefs=2, nscalars=1)
+    verifier = HeapVerifier(space, model)
+    return space, model, boot, node, verifier
+
+
+def _alloc(space, model, desc, order=1):
+    frame = space.acquire_frame("test")
+    space.set_order(frame, order)
+    addr = space.frame_base(frame)
+    frame.used_words = desc.size_words()
+    model.init_header(addr, desc)
+    space.store(addr + WORD_BYTES, desc.addr)
+    return addr
+
+
+def test_verify_empty_roots(env):
+    space, model, boot, node, verifier = env
+    report = verifier.verify([])
+    assert report.objects == 0 and report.words == 0
+
+
+def test_verify_counts_reachable(env):
+    space, model, boot, node, verifier = env
+    a = _alloc(space, model, node)
+    b = _alloc(space, model, node)
+    model.set_ref_raw(a, 0, b)
+    report = verifier.verify([a])
+    # 2 heap nodes + their boot type object + the metatype (type slots
+    # are traversed like any other reference)
+    assert report.objects == 4
+    meta_words = 4  # metatype instances: header(3) + 1 scalar
+    assert report.words == 2 * node.size_words() + 2 * meta_words
+    assert report.ref_slots == 2 * 3 + 2 * 1
+    assert report.live_bytes == report.words * WORD_BYTES
+
+
+def test_verify_shared_counted_once(env):
+    space, model, boot, node, verifier = env
+    shared = _alloc(space, model, node)
+    a = _alloc(space, model, node)
+    b = _alloc(space, model, node)
+    model.set_ref_raw(a, 0, shared)
+    model.set_ref_raw(b, 0, shared)
+    report = verifier.verify([a, b])
+    assert report.objects == 3 + 2  # plus type object and metatype
+
+
+def test_verify_cycles_terminate(env):
+    space, model, boot, node, verifier = env
+    a = _alloc(space, model, node)
+    b = _alloc(space, model, node)
+    model.set_ref_raw(a, 0, b)
+    model.set_ref_raw(b, 0, a)
+    assert verifier.verify([a]).objects == 2 + 2
+
+
+def test_rejects_misaligned_root(env):
+    space, model, boot, node, verifier = env
+    a = _alloc(space, model, node)
+    with pytest.raises(HeapCorruption):
+        verifier.verify([a + 2])
+
+
+def test_rejects_unmapped_root(env):
+    space, model, boot, node, verifier = env
+    with pytest.raises(HeapCorruption):
+        verifier.verify([0x7FFF000])
+
+
+def test_rejects_forwarded_object(env):
+    space, model, boot, node, verifier = env
+    a = _alloc(space, model, node)
+    b = _alloc(space, model, node)
+    model.set_forwarding(a, b)
+    with pytest.raises(HeapCorruption):
+        verifier.verify([a])
+
+
+def test_rejects_unstamped_frame(env):
+    space, model, boot, node, verifier = env
+    a = _alloc(space, model, node)
+    frame = space.frame_containing(a)
+    from repro.heap.frame import UNASSIGNED_ORDER
+
+    space.set_order(frame, UNASSIGNED_ORDER)
+    with pytest.raises(HeapCorruption):
+        verifier.verify([a])
+
+
+def test_rejects_clobbered_type_slot(env):
+    space, model, boot, node, verifier = env
+    a = _alloc(space, model, node)
+    space.store(a + WORD_BYTES, 12345 * 4)
+    with pytest.raises(HeapCorruption):
+        verifier.verify([a])
+
+
+def test_rejects_object_overrunning_used_prefix(env):
+    space, model, boot, node, verifier = env
+    a = _alloc(space, model, node)
+    space.frame_containing(a).used_words = 2  # shorter than the object
+    with pytest.raises(HeapCorruption):
+        verifier.verify([a])
+
+
+def test_rejects_dangling_reference(env):
+    space, model, boot, node, verifier = env
+    a = _alloc(space, model, node)
+    b = _alloc(space, model, node)
+    model.set_ref_raw(a, 1, b)
+    frame_b = space.frame_containing(b)
+    space.release_frame(frame_b)  # b now dangles
+    with pytest.raises(HeapCorruption):
+        verifier.verify([a])

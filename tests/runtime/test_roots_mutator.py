@@ -1,0 +1,169 @@
+"""Unit tests for handles, the root table and the mutator context."""
+
+import pytest
+
+from repro.errors import HeapCorruption
+from repro.runtime import VM, Handle, MutatorContext, RootTable
+
+
+@pytest.fixture
+def env():
+    vm = VM(heap_bytes=64 * 256, collector="25.25.100")
+    vm.define_type("node", nrefs=2, nscalars=2)
+    vm.define_ref_array("arr")
+    return vm, MutatorContext(vm)
+
+
+# ----------------------------------------------------------------------
+# RootTable / Handle
+# ----------------------------------------------------------------------
+def test_roottable_acquire_release():
+    table = RootTable()
+    a = table.acquire(0x100)
+    b = table.acquire(0x200)
+    assert a.addr == 0x100 and b.addr == 0x200
+    assert table.live_slots == 2
+    a.drop()
+    assert table.live_slots == 1
+    c = table.acquire(0x300)  # reuses the freed slot
+    assert c.addr == 0x300
+    assert len(table.slots) == 2
+
+
+def test_dropped_handle_is_unusable():
+    table = RootTable()
+    h = table.acquire(0x100)
+    h.drop()
+    with pytest.raises(HeapCorruption):
+        _ = h.addr
+    with pytest.raises(HeapCorruption):
+        h.addr = 0x200
+
+
+def test_handle_truthiness():
+    table = RootTable()
+    assert not table.acquire(0)
+    assert table.acquire(0x40)
+
+
+def test_gc_updates_handles(env):
+    vm, mu = env
+    node = vm.types.by_name("node")
+    h = mu.alloc(node)
+    mu.write_int(h, 0, 42)
+    before = h.addr
+    vm.collect()
+    assert h.addr != before  # the object moved
+    assert mu.read_int(h, 0) == 42
+
+
+# ----------------------------------------------------------------------
+# MutatorContext
+# ----------------------------------------------------------------------
+def test_alloc_returns_rooted_handle(env):
+    vm, mu = env
+    h = mu.alloc_named("node")
+    assert not h.is_null
+    assert vm.model.type_of(h.addr).name == "node"
+
+
+def test_write_read_roundtrip(env):
+    vm, mu = env
+    a = mu.alloc_named("node")
+    b = mu.alloc_named("node")
+    mu.write(a, 1, b)
+    got = mu.read(a, 1)
+    assert got.addr == b.addr
+    mu.write(a, 1, None)
+    assert mu.read(a, 1).is_null
+
+
+def test_null_handle_operations_raise(env):
+    vm, mu = env
+    null = mu.handle()
+    other = mu.alloc_named("node")
+    with pytest.raises(HeapCorruption):
+        mu.write(null, 0, other)
+    with pytest.raises(HeapCorruption):
+        mu.read(null, 0)
+
+
+def test_array_length(env):
+    vm, mu = env
+    arr = mu.alloc_named("arr", length=7)
+    assert mu.length_of(arr) == 7
+
+
+def test_copy_handle_independent(env):
+    vm, mu = env
+    a = mu.alloc_named("node")
+    c = mu.copy_handle(a)
+    assert c.addr == a.addr
+    c.drop()
+    assert a.addr != 0  # dropping the copy leaves the original
+
+
+def test_out_of_range_slot_raises(env):
+    vm, mu = env
+    a = mu.alloc_named("node")
+    with pytest.raises(HeapCorruption):
+        mu.write(a, 5, a)
+    with pytest.raises(HeapCorruption):
+        mu.read_int(a, 9)
+
+
+def test_work_charges_clock(env):
+    vm, mu = env
+    mu.work(10)
+    stats = vm.finish()
+    assert stats.mutator_cycles > 0
+
+
+# ----------------------------------------------------------------------
+# VM facade
+# ----------------------------------------------------------------------
+def test_vm_rounds_heap_to_frames():
+    vm = VM(heap_bytes=1000, collector="BSS")  # 256-byte frames
+    assert vm.heap_bytes == 768
+
+
+def test_vm_collector_name():
+    assert VM(heap_bytes=8192, collector="25.25.100").collector_name == "25.25.100"
+    assert VM(heap_bytes=8192, collector="gctk:SS").collector_name == "gctk:SS"
+
+
+def test_vm_rejects_bad_collector():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        VM(heap_bytes=8192, collector=12345)
+
+
+def test_finish_reports_counts(env):
+    vm, mu = env
+    node = vm.types.by_name("node")
+    for _ in range(50):
+        mu.alloc(node).drop()
+    stats = vm.finish()
+    assert stats.allocations == 50
+    assert stats.allocated_bytes == 50 * node.size_bytes()
+    assert stats.total_cycles > 0
+    assert stats.completed
+
+
+def test_pause_timeline_recorded(env):
+    vm, mu = env
+    node = vm.types.by_name("node")
+    for _ in range(2000):
+        mu.alloc(node).drop()
+    stats = vm.finish()
+    assert stats.collections > 0
+    assert len(stats.pauses) == stats.collections
+    # pauses are disjoint and ordered
+    for earlier, later in zip(stats.pauses, stats.pauses[1:]):
+        assert earlier.end <= later.start
+    # mutator progressed between pauses
+    assert stats.mutator_cycles > 0
+    assert stats.gc_cycles == pytest.approx(
+        sum(p.duration for p in stats.pauses)
+    )

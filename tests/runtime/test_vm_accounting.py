@@ -1,0 +1,119 @@
+"""Cost-accounting tests: the VM must charge exactly what was counted.
+
+The figures are only as trustworthy as the accounting: these tests pin
+the flush mechanics (deltas, not totals), the pause charging, and the
+locality multiplier's application point.
+"""
+
+import pytest
+
+from repro.runtime import VM, MutatorContext
+from repro.sim.cost import CostModel
+from repro.sim.locality import LocalityModel
+
+
+def make_vm(**kwargs):
+    kwargs.setdefault("boot_ballast_slots", 0)
+    kwargs.setdefault("collector", "25.25.100")
+    vm = VM(heap_bytes=24 * 1024, **kwargs)
+    vm.define_type("node", nrefs=2, nscalars=1)
+    return vm, MutatorContext(vm)
+
+
+def test_mutator_charges_match_hand_computation():
+    cm = CostModel()
+    vm, mu = make_vm(cost_model=cm)
+    node = vm.types.by_name("node")
+    h = mu.alloc(node)  # 1 alloc + 1 barriered type store
+    mu.write(h, 0, h)  # 1 ref write (field_write + barrier fast)
+    mu.read_addr(h, 0)  # 1 read
+    mu.work(10)
+    stats = vm.finish()
+    expected = (
+        cm.alloc_object
+        + cm.alloc_word * node.size_words()
+        + cm.barrier_fast * 2  # type store + ref store
+        + cm.field_read * 1
+        + cm.field_write * 1
+        + cm.work_unit * 10
+    )
+    assert stats.mutator_cycles == pytest.approx(expected)
+    assert stats.gc_cycles == 0
+    assert stats.total_cycles == pytest.approx(expected)
+
+
+def test_flush_uses_deltas_not_totals():
+    """finish() after a collection must not double-charge the work that
+    was already flushed at the pause."""
+    vm, mu = make_vm()
+    node = vm.types.by_name("node")
+    for _ in range(600):
+        mu.alloc(node).drop()
+    assert vm.plan.collections, "need at least one pause"
+    first = vm.finish()
+    again = vm.finish()  # idempotent: nothing left to flush
+    assert again.mutator_cycles == pytest.approx(first.mutator_cycles)
+    assert again.total_cycles == pytest.approx(first.total_cycles)
+
+
+def test_pause_cost_matches_collection_work():
+    cm = CostModel()
+    vm, mu = make_vm(cost_model=cm)
+    node = vm.types.by_name("node")
+    keep = [mu.alloc(node) for _ in range(10)]
+    result = vm.plan.collect("forced")
+    pause = vm.clock.pauses[-1]
+    expected = cm.collection_cost(
+        copied_objects=result.copied_objects,
+        copied_words=result.copied_words,
+        scanned_ref_slots=result.scanned_ref_slots,
+        root_slots=result.root_slots,
+        remset_slots=result.remset_slots,
+        freed_frames=result.freed_frames,
+        boot_slots_scanned=result.boot_slots_scanned,
+    )
+    assert pause.duration == pytest.approx(expected)
+
+
+def test_locality_multiplier_scales_mutator_only():
+    heavy = LocalityModel(cache_words=1, cache_sensitivity=1.0)
+
+    def run(locality):
+        vm, mu = make_vm(locality=locality)
+        node = vm.types.by_name("node")
+        for _ in range(800):
+            mu.alloc(node).drop()
+        return vm.finish()
+
+    base = run(LocalityModel())
+    slow = run(heavy)
+    assert slow.mutator_cycles > base.mutator_cycles * 2
+    assert slow.gc_cycles == pytest.approx(base.gc_cycles)
+    assert slow.collections == base.collections  # behaviour unchanged
+
+
+def test_work_units_charged_through_cost_model():
+    cm = CostModel()
+    vm, mu = make_vm(cost_model=cm)
+    mu.work(7.5)
+    stats = vm.finish()
+    assert stats.mutator_cycles == pytest.approx(7.5 * cm.work_unit)
+
+
+def test_peak_footprint_tracked():
+    vm, mu = make_vm()
+    node = vm.types.by_name("node")
+    keep = [mu.alloc(node) for _ in range(40)]
+    stats = vm.finish()
+    assert stats.peak_footprint_bytes >= 40 * node.size_bytes()
+    assert stats.peak_footprint_bytes <= vm.heap_bytes
+
+
+def test_post_gc_occupancy_recorded_per_collection():
+    vm, mu = make_vm()
+    node = vm.types.by_name("node")
+    for _ in range(1000):
+        mu.alloc(node).drop()
+    stats = vm.finish()
+    assert len(stats.post_gc_occupancy_bytes) == stats.collections
+    assert all(v >= 0 for v in stats.post_gc_occupancy_bytes)

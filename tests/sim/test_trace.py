@@ -1,0 +1,67 @@
+"""Tests for the event tracer."""
+
+import io
+
+import pytest
+
+from repro.runtime import VM, MutatorContext
+from repro.sim.trace import Tracer, load_jsonl
+
+
+@pytest.fixture
+def traced_run():
+    vm = VM(heap_bytes=16 * 1024, collector="25.25.100", boot_ballast_slots=0)
+    vm.define_type("node", nrefs=2, nscalars=1)
+    tracer = Tracer(vm, snapshot_every=3)
+    mu = MutatorContext(vm)
+    node = vm.types.by_name("node")
+    for _ in range(2500):
+        mu.alloc(node).drop()
+    return vm, tracer
+
+
+def test_collections_traced(traced_run):
+    vm, tracer = traced_run
+    events = tracer.collections()
+    assert len(events) == len(vm.plan.collections)
+    for event in events:
+        assert event.data["freed_frames"] >= 0
+        assert isinstance(event.data["belts"], list)
+        assert event.data["reason"]
+
+
+def test_event_times_monotone(traced_run):
+    vm, tracer = traced_run
+    times = [e.time for e in tracer.events]
+    assert times == sorted(times)
+
+
+def test_periodic_snapshots(traced_run):
+    vm, tracer = traced_run
+    snaps = tracer.snapshots()
+    assert len(snaps) >= len(tracer.collections()) // 3
+    for snap in snaps:
+        assert snap.data["frames_in_use"] <= snap.data["frames_total"]
+        assert snap.data["occupied_words"] >= 0
+
+
+def test_manual_snapshot(traced_run):
+    vm, tracer = traced_run
+    before = len(tracer.snapshots())
+    event = tracer.snapshot()
+    assert event.kind == "snapshot"
+    assert len(tracer.snapshots()) == before + 1
+
+
+def test_jsonl_roundtrip(traced_run):
+    vm, tracer = traced_run
+    buffer = io.StringIO()
+    count = tracer.write_jsonl(buffer)
+    assert count == len(tracer.events)
+    buffer.seek(0)
+    parsed = load_jsonl(buffer)
+    assert len(parsed) == count
+    kinds = {p["kind"] for p in parsed}
+    assert kinds == {"collection", "snapshot"}
+    first_gc = next(p for p in parsed if p["kind"] == "collection")
+    assert "copied_words" in first_gc and "time" in first_gc

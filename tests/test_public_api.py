@@ -1,0 +1,66 @@
+"""Repository-level smoke tests: every module imports, every __all__
+export exists, the version is set, and the README quickstart runs."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+]
+
+
+def test_every_module_imports():
+    assert len(MODULES) > 30
+    for name in MODULES:
+        importlib.import_module(name)
+
+
+@pytest.mark.parametrize(
+    "package",
+    ["repro", "repro.heap", "repro.core", "repro.analysis", "repro.sim",
+     "repro.bench", "repro.runtime", "repro.gctk"],
+)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_readme_quickstart_runs():
+    from repro import VM, MutatorContext
+
+    vm = VM(heap_bytes=32 * 1024, collector="25.25.100")
+    node = vm.define_type("node", nrefs=2, nscalars=1)
+    mu = MutatorContext(vm)
+    head = mu.alloc(node)
+    child = mu.alloc(node)
+    mu.write(head, 0, child)
+    vm.collect()
+    assert "belt" in vm.plan.describe_structure()
+    stats = vm.finish()
+    assert stats.collections >= 1
+    assert "25.25.100" in stats.summary_row()
+
+
+def test_exceptions_form_hierarchy():
+    from repro import (
+        BarrierError,
+        ConfigError,
+        HeapCorruption,
+        InvalidAddress,
+        OutOfMemory,
+        ReproError,
+    )
+
+    for exc in (BarrierError, ConfigError, HeapCorruption, OutOfMemory):
+        assert issubclass(exc, ReproError)
+    assert issubclass(InvalidAddress, HeapCorruption)
