@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Substrate throughput benchmark: the perf trajectory of the hot paths.
+
+Times the simulated-memory fast paths every experiment funnels through —
+allocation, write-barrier stores, single-word loads/stores, the bulk copy
+kernel — plus a small end-to-end sweep, and writes the numbers to
+``BENCH_substrate.json`` at the repository root so later PRs have a
+baseline to regress against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_substrate.py            # full run, writes baseline
+    PYTHONPATH=src python benchmarks/bench_substrate.py --quick    # short timing windows
+    PYTHONPATH=src python benchmarks/bench_substrate.py --quick \\
+        --check BENCH_substrate.json                               # CI regression gate
+
+With ``--check`` the run compares its throughput metrics against the given
+baseline file and exits non-zero if any regresses by more than
+``--threshold`` (default 30%); the baseline file is left untouched unless
+``--output`` is passed explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.sweep import heap_multipliers, sweep  # noqa: E402
+from repro.heap.objectmodel import ObjectModel, TypeRegistry  # noqa: E402
+from repro.heap.space import AddressSpace  # noqa: E402
+from repro.runtime.mutator import MutatorContext  # noqa: E402
+from repro.runtime.vm import VM  # noqa: E402
+
+#: Throughput of the seed (pre-rewrite, list-backed, word-at-a-time)
+#: substrate, measured on the same container immediately before the typed
+#: storage + bulk-kernel rewrite landed.  Kept here so the JSON artefact
+#: always records how far the substrate has come since the seed.
+PRE_CHANGE = {
+    "copied_words_per_s": 2_195_206.0,
+    "store_words_per_s": 4_107_859.0,
+    "load_words_per_s": 4_486_097.0,
+    "allocs_per_s": 267_543.0,
+    "barrier_stores_per_s": 588_357.0,
+}
+
+#: Metrics gated by ``--check`` (end-to-end seconds are too noisy to gate).
+GATED_METRICS = tuple(PRE_CHANGE)
+
+
+def _time_loop(fn, min_seconds: float):
+    """Run ``fn`` in doubling batches until the batch exceeds the window."""
+    fn()  # warm-up
+    n = 1
+    while True:
+        start = time.perf_counter()
+        for _ in range(n):
+            fn()
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return n, elapsed
+        n *= 2
+
+
+def bench_copy_words(min_seconds: float) -> float:
+    """Copied words/s of the bulk evacuation kernel (frame-sized bodies)."""
+    space = AddressSpace(heap_frames=8, frame_shift=12)
+    model = ObjectModel(space, TypeRegistry())
+    src = space.acquire_frame("src")
+    dst = space.acquire_frame("dst")
+    a, b = space.frame_base(src), space.frame_base(dst)
+    nwords = space.frame_words
+    for i in range(nwords):
+        space.store(a + i * 4, i)
+    n, elapsed = _time_loop(lambda: model.copy_words(a, b, nwords), min_seconds)
+    return n * nwords / elapsed
+
+
+def bench_store_words(min_seconds: float) -> float:
+    """Single-word store throughput (the barrier's memory half)."""
+    space = AddressSpace(heap_frames=8, frame_shift=12)
+    base = space.frame_base(space.acquire_frame("s"))
+    nwords = space.frame_words
+
+    def step():
+        store = space.store
+        for i in range(nwords):
+            store(base + i * 4, i)
+
+    n, elapsed = _time_loop(step, min_seconds)
+    return n * nwords / elapsed
+
+
+def bench_load_words(min_seconds: float) -> float:
+    """Single-word load throughput (the scan loop's memory half)."""
+    space = AddressSpace(heap_frames=8, frame_shift=12)
+    base = space.frame_base(space.acquire_frame("s"))
+    nwords = space.frame_words
+
+    def step():
+        load = space.load
+        for i in range(nwords):
+            load(base + i * 4)
+
+    n, elapsed = _time_loop(step, min_seconds)
+    return n * nwords / elapsed
+
+
+def bench_alloc(min_seconds: float) -> float:
+    """Allocations/s through a full VM (bump pointer + header + barrier),
+    including the nursery collections the churn provokes."""
+
+    def step():
+        vm = VM(heap_bytes=64 * 1024, collector="25.25.100")
+        node = vm.define_type("node", nrefs=2, nscalars=1)
+        mu = MutatorContext(vm)
+        for _ in range(2000):
+            mu.alloc(node).drop()
+
+    n, elapsed = _time_loop(step, min_seconds)
+    return n * 2000 / elapsed
+
+
+def bench_barrier(min_seconds: float) -> float:
+    """Barriered reference stores/s (the paper's Fig. 4 fast path)."""
+    vm = VM(heap_bytes=256 * 1024, collector="25.25.100")
+    node = vm.define_type("node", nrefs=2, nscalars=1)
+    mu = MutatorContext(vm)
+    a = mu.alloc(node)
+    b = mu.alloc(node)
+
+    def step():
+        write = mu.write
+        for _ in range(1000):
+            write(a, 0, b)
+
+    n, elapsed = _time_loop(step, min_seconds)
+    return n * 1000 / elapsed
+
+
+def bench_sweep(quick: bool, parallel: bool) -> dict:
+    """Wall-clock of a small end-to-end sweep, serial and parallel."""
+    points = 3 if quick else 5
+    scale = 0.2 if quick else 0.5
+    multipliers = heap_multipliers(points)
+    out = {}
+    for label, par in (("serial", False), ("parallel", True)):
+        if par and not parallel:
+            continue
+        start = time.perf_counter()
+        result = sweep(
+            "jess", "25.25.100", 24 * 1024, multipliers, scale=scale, parallel=par
+        )
+        out[f"sweep_seconds_{label}"] = time.perf_counter() - start
+        out[f"sweep_completed_{label}"] = sum(r.completed for r in result.runs)
+    return out
+
+
+def run(quick: bool, parallel: bool = True) -> dict:
+    min_seconds = 0.1 if quick else 0.4
+    metrics = {
+        "copied_words_per_s": bench_copy_words(min_seconds),
+        "store_words_per_s": bench_store_words(min_seconds),
+        "load_words_per_s": bench_load_words(min_seconds),
+        "allocs_per_s": bench_alloc(min_seconds),
+        "barrier_stores_per_s": bench_barrier(min_seconds),
+    }
+    return {
+        "schema": 1,
+        "mode": "quick" if quick else "full",
+        "metrics": metrics,
+        "end_to_end": bench_sweep(quick, parallel),
+        "pre_change": PRE_CHANGE,
+        "speedup_vs_pre_change": {
+            key: metrics[key] / PRE_CHANGE[key] for key in PRE_CHANGE
+        },
+    }
+
+
+def check(report: dict, baseline_path: Path, threshold: float) -> int:
+    """Exit status 1 if any gated metric regressed more than ``threshold``."""
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for key in GATED_METRICS:
+        base = baseline.get("metrics", {}).get(key)
+        now = report["metrics"][key]
+        if not base:
+            continue
+        ratio = now / base
+        status = "OK" if ratio >= 1.0 - threshold else "REGRESSED"
+        print(f"  {key:<24} {now:14.0f} vs baseline {base:14.0f}  "
+              f"({ratio:5.2f}x) {status}")
+        if ratio < 1.0 - threshold:
+            failures.append(key)
+    if failures:
+        print(f"FAIL: throughput regressed >{threshold:.0%} on: "
+              f"{', '.join(failures)}")
+        return 1
+    print(f"PASS: no gated metric regressed more than {threshold:.0%}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short timing windows (CI smoke)")
+    parser.add_argument("--check", metavar="BASELINE", type=Path,
+                        help="compare against a baseline JSON instead of "
+                             "overwriting it; exit 1 on regression")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="where to write the JSON report (default: "
+                             "BENCH_substrate.json at the repo root; "
+                             "suppressed in --check mode unless given)")
+    parser.add_argument("--no-parallel", action="store_true",
+                        help="skip the parallel end-to-end sweep timing")
+    args = parser.parse_args(argv)
+    if args.check and not args.check.is_file():
+        parser.error(f"baseline file not found: {args.check}")
+
+    report = run(args.quick, parallel=not args.no_parallel)
+    for key, value in report["metrics"].items():
+        speedup = report["speedup_vs_pre_change"][key]
+        print(f"{key:<24} {value:14.0f} /s   ({speedup:6.1f}x vs pre-change)")
+    for key, value in report["end_to_end"].items():
+        print(f"{key:<24} {value:14.3f}" if isinstance(value, float)
+              else f"{key:<24} {value:>14}")
+
+    if args.check:
+        status = check(report, args.check, args.threshold)
+        if args.output:
+            args.output.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+        return status
+
+    output = args.output or REPO_ROOT / "BENCH_substrate.json"
+    output.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,13 +4,19 @@ The paper ran each program "on 33 heap sizes, ranging from the smallest
 one in which the program completes up to 3 times that size" (§4.1), with
 a log-scaled x-axis.  :func:`heap_multipliers` reproduces that grid (the
 point count is configurable so the quick benchmark targets can use a
-coarser grid), and :func:`sweep` executes one collector across it.
+coarser grid), :func:`sweep` executes one collector across it, and
+:func:`sweep_grid` fans a whole (benchmark, collector, multiplier) grid
+out over worker processes.
+
+Every cell of a sweep is an independent fixed-seed simulation, so the
+parallel paths (``parallel=True``) return ``RunStats`` bit-identical to
+the serial loop — the experiment layer can use either interchangeably.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..runtime.vm import EXPERIMENT_FRAME_SHIFT
 from ..sim.stats import RunStats
@@ -66,6 +72,12 @@ class SweepResult:
         return self.series("gc_fraction")
 
 
+def _heap_at(min_heap_bytes: int, multiplier: float) -> int:
+    """Heap size for one grid point, rounded to frame granularity."""
+    heap = int(min_heap_bytes * multiplier)
+    return max(2 * FRAME_BYTES, (heap // FRAME_BYTES) * FRAME_BYTES)
+
+
 def sweep(
     benchmark: str,
     collector: str,
@@ -73,6 +85,8 @@ def sweep(
     multipliers: Sequence[float],
     scale: float = 1.0,
     seed: int = 13,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
     """Run ``collector`` on ``benchmark`` at every heap size in the grid.
 
@@ -80,8 +94,12 @@ def sweep(
     *benchmark's* minimum (under the baseline collector), so collectors
     with smaller minima simply succeed below 1.0× and collectors with
     larger minima leave gaps — exactly how the paper's figures read.
+
+    ``parallel=True`` fans the grid points out over worker processes via
+    :func:`repro.harness.runner.run_many`; results are bit-identical to
+    the serial loop (``parallel=False``, the default and escape hatch).
     """
-    from ..harness.runner import run_benchmark  # local: avoids import cycle
+    from ..harness.runner import run_many  # local: avoids import cycle
 
     result = SweepResult(
         benchmark=benchmark,
@@ -89,10 +107,52 @@ def sweep(
         min_heap_bytes=min_heap_bytes,
         multipliers=list(multipliers),
     )
-    for multiplier in multipliers:
-        heap = int(min_heap_bytes * multiplier)
-        heap = max(2 * FRAME_BYTES, (heap // FRAME_BYTES) * FRAME_BYTES)
-        result.runs.append(
-            run_benchmark(benchmark, collector, heap, scale=scale, seed=seed)
-        )
+    jobs = [
+        (benchmark, collector, _heap_at(min_heap_bytes, m), scale, seed)
+        for m in result.multipliers
+    ]
+    result.runs.extend(run_many(jobs, parallel=parallel, max_workers=max_workers))
     return result
+
+
+def sweep_grid(
+    benchmarks: Sequence[str],
+    collectors: Sequence[str],
+    min_heap_bytes: Dict[str, int],
+    multipliers: Sequence[float],
+    scale: float = 1.0,
+    seed: int = 13,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+) -> Dict[Tuple[str, str], SweepResult]:
+    """Run the full (benchmark, collector, multiplier) grid of a figure.
+
+    This is the experiment layer's unit of parallelism: the whole grid is
+    flattened into independent jobs and handed to
+    :func:`repro.harness.runner.run_many` in one batch, so worker
+    processes stay busy across benchmark boundaries instead of draining
+    per-sweep.  Returns one :class:`SweepResult` per (benchmark,
+    collector) pair, each bit-identical to what serial :func:`sweep`
+    calls would produce for the same seed.
+    """
+    from ..harness.runner import run_many  # local: avoids import cycle
+
+    multipliers = list(multipliers)
+    pairs = [(b, c) for b in benchmarks for c in collectors]
+    jobs = [
+        (b, c, _heap_at(min_heap_bytes[b], m), scale, seed)
+        for (b, c) in pairs
+        for m in multipliers
+    ]
+    runs = run_many(jobs, parallel=parallel, max_workers=max_workers)
+    out: Dict[Tuple[str, str], SweepResult] = {}
+    for i, (b, c) in enumerate(pairs):
+        result = SweepResult(
+            benchmark=b,
+            collector=c,
+            min_heap_bytes=min_heap_bytes[b],
+            multipliers=list(multipliers),
+        )
+        result.runs.extend(runs[i * len(multipliers) : (i + 1) * len(multipliers)])
+        out[(b, c)] = result
+    return out

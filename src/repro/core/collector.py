@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set
 
 from ..errors import HeapCorruption
+from ..heap.address import WORD_BYTES
 from .belt import Increment
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -158,18 +159,37 @@ class Collector:
                 barrier.record_collector_pointer(slot, slot, new_target)
 
         # -- transitive closure (Cheney order) -----------------------------
+        # The scan reads each object's reference slots as one bulk slice
+        # and inlines the barrier's order compare (the body of
+        # ``record_collector_pointer``): per-slot work is one membership
+        # test and one compare, with no per-word load() calls.
+        orders = space.orders
+        remsets = heap.remsets
+        word_bytes = WORD_BYTES
         while worklist:
             obj, ctx = worklist.popleft()
             result.scanned_objects += 1
-            for slot in model.iter_ref_slot_addrs(obj):
-                result.scanned_ref_slots += 1
-                target = space.load(slot)
-                if not target:
-                    continue
-                if (target >> shift) in from_frames:
+            slot, target, base, ref_values = model.scan_ref_slots(obj)
+            result.scanned_ref_slots += 1 + len(ref_values)
+            s = obj >> shift
+            if target:
+                t = target >> shift
+                if t in from_frames:
                     target = forward(target, ctx)
                     space.store(slot, target)
-                barrier.record_collector_pointer(obj, slot, target)
+                    t = target >> shift
+                if t != s and orders[t] < orders[s]:
+                    remsets.insert(s, t, slot)
+            for i, target in enumerate(ref_values):
+                if not target:
+                    continue
+                t = target >> shift
+                if t in from_frames:
+                    target = forward(target, ctx)
+                    space.store(base + i * word_bytes, target)
+                    t = target >> shift
+                if t != s and orders[t] < orders[s]:
+                    remsets.insert(s, t, base + i * word_bytes)
 
         # -- reclaim -------------------------------------------------------
         result.remset_entries_dropped = heap.remsets.drop_frames(from_frames)

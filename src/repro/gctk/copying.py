@@ -14,6 +14,7 @@ from collections import deque
 from typing import Callable, Iterable, List, Set
 
 from ..core.collector import CollectionResult
+from ..heap.address import WORD_BYTES
 from ..heap.objectmodel import ObjectModel
 
 
@@ -60,19 +61,25 @@ def cheney_trace(
         if target and (target >> shift) in from_frames:
             space.store(slot, forward(target))
 
-    # The boot-image rescan the boundary barrier forces (§4.2.1).
+    # The boot-image rescan the boundary barrier forces (§4.2.1).  Both
+    # this and the gray-queue drain below read each object's reference
+    # slots as one bulk slice instead of N load() calls.
     for obj in boot_objects:
-        for slot in model.iter_ref_slot_addrs(obj):
-            result.boot_slots_scanned += 1
-            target = space.load(slot)
+        slot, target, base, ref_values = model.scan_ref_slots(obj)
+        result.boot_slots_scanned += 1 + len(ref_values)
+        if target and (target >> shift) in from_frames:
+            space.store(slot, forward(target))
+        for i, target in enumerate(ref_values):
             if target and (target >> shift) in from_frames:
-                space.store(slot, forward(target))
+                space.store(base + i * WORD_BYTES, forward(target))
 
     while worklist:
         obj = worklist.popleft()
         result.scanned_objects += 1
-        for slot in model.iter_ref_slot_addrs(obj):
-            result.scanned_ref_slots += 1
-            target = space.load(slot)
+        slot, target, base, ref_values = model.scan_ref_slots(obj)
+        result.scanned_ref_slots += 1 + len(ref_values)
+        if target and (target >> shift) in from_frames:
+            space.store(slot, forward(target))
+        for i, target in enumerate(ref_values):
             if target and (target >> shift) in from_frames:
-                space.store(slot, forward(target))
+                space.store(base + i * WORD_BYTES, forward(target))

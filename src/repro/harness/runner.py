@@ -6,11 +6,17 @@ the x-axis normalisation of every plot) come from :func:`find_min_heap`,
 a doubling-then-bisection search over heap sizes at frame granularity —
 the same "smallest heap in which the program completes" definition the
 paper uses (§4.1).
+
+:func:`run_many` is the process-parallel fan-out behind the sweep layer:
+each (benchmark, collector, heap size) run is completely independent (its
+own VM, its own seeded PRNG), so farming the grid out to a
+``ProcessPoolExecutor`` returns *bit-identical* ``RunStats`` to the serial
+loop — same seeds, same cost-model cycles — just sooner.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..bench.engine import SyntheticMutator
 from ..bench.spec import get_spec
@@ -20,6 +26,9 @@ from ..sim.stats import RunStats
 
 #: Frame size used by all experiments (bytes).
 FRAME_BYTES = 1 << EXPERIMENT_FRAME_SHIFT
+
+#: One grid cell: (benchmark, collector, heap_bytes, scale, seed).
+RunJob = Tuple[str, str, int, float, int]
 
 
 def run_benchmark(
@@ -44,6 +53,39 @@ def run_benchmark(
         return engine.run()
     except OutOfMemory as error:
         return vm.finish(completed=False, failure=str(error))
+
+
+def _run_job(job: RunJob) -> RunStats:
+    """Execute one grid cell (module-level so it pickles for worker pools)."""
+    benchmark, collector, heap_bytes, scale, seed = job
+    return run_benchmark(benchmark, collector, heap_bytes, scale=scale, seed=seed)
+
+
+def run_many(
+    jobs: Iterable[RunJob],
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+) -> List[RunStats]:
+    """Run a batch of independent grid cells, in input order.
+
+    With ``parallel=True`` the jobs fan out over a
+    ``ProcessPoolExecutor``; ``parallel=False`` is the escape hatch that
+    runs the identical code in-process (useful under debuggers, on
+    platforms without ``fork``/``spawn`` headroom, or to rule the pool out
+    when bisecting a bug).  Both paths return bit-identical results:
+    every run re-derives its whole world from ``(benchmark, collector,
+    heap_bytes, scale, seed)``.
+    """
+    jobs = list(jobs)
+    if not parallel or len(jobs) <= 1:
+        return [_run_job(job) for job in jobs]
+    # Imported lazily: worker processes re-importing this module must not
+    # pay for (or recursively trigger) executor machinery.
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        chunksize = max(1, len(jobs) // (4 * (pool._max_workers or 1)))
+        return list(pool.map(_run_job, jobs, chunksize=chunksize))
 
 
 def find_min_heap(

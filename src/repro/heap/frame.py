@@ -15,10 +15,17 @@ the metadata the paper attaches to frames:
 Frames are recycled through the free pool of the :class:`~repro.heap.space.
 AddressSpace`; their storage is zeroed on release so stale pointers can
 never leak between collector epochs.
+
+Storage is a compact ``array('q')`` (one signed 64-bit slot per simulated
+word) rather than a Python list: slices of it move through C memcpy, which
+is what makes the bulk kernels in :mod:`repro.heap.space` fast.  Simulated
+words therefore must fit in a signed 64-bit integer — addresses, headers
+and benchmark scalars all do by construction.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Optional
 
 from .address import WORD_BYTES
@@ -33,6 +40,9 @@ BOOT_ORDER = 1 << 62
 #: Order for frames that are currently free / unassigned.  Using the same
 #: sentinel as BOOT_ORDER would hide bugs, so keep it distinct and poisoned.
 UNASSIGNED_ORDER = -1
+
+#: Bytes per storage slot of the typed backing array ('q' = int64).
+_SLOT_BYTES = 8
 
 
 class Frame:
@@ -52,7 +62,7 @@ class Frame:
     def __init__(self, index: int, size_words: int):
         self.index = index
         self.size_words = size_words
-        self.words = [0] * size_words
+        self.words = array("q", bytes(_SLOT_BYTES * size_words))
         self.collect_order: int = UNASSIGNED_ORDER
         #: The owning Increment (Beltway) or space object (gctk collectors).
         self.increment: Optional[object] = None
@@ -63,8 +73,9 @@ class Frame:
 
     def reset(self) -> None:
         """Return the frame to its pristine, free state (storage zeroed)."""
-        for i in range(self.used_words):
-            self.words[i] = 0
+        used = self.used_words
+        if used:
+            self.words[:used] = array("q", bytes(_SLOT_BYTES * used))
         self.collect_order = UNASSIGNED_ORDER
         self.increment = None
         self.space_name = "free"

@@ -24,7 +24,7 @@ Object addresses point at word 0.  Objects never span frames.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import HeapCorruption
 from .address import WORD_BYTES
@@ -217,6 +217,28 @@ class ObjectModel:
             )
         return obj + (HEADER_WORDS + refs + index) * WORD_BYTES
 
+    def scan_ref_slots(self, obj: int) -> Tuple[int, int, int, List[int]]:
+        """Bulk read of every reference slot of ``obj`` for collector scans.
+
+        Returns ``(type_slot_addr, type_value, ref_base_addr, ref_values)``
+        where ``ref_values[i]`` lives at ``ref_base_addr + i * WORD_BYTES``.
+        The type slot is included (see :meth:`iter_ref_slot_addrs`); the
+        ``nrefs`` proper reference slots are read with one
+        :meth:`~repro.heap.space.AddressSpace.load_slice` call.
+
+        Access accounting is identical to the word-at-a-time walk it
+        replaces (``count + 3`` loads: type word twice — once as descriptor
+        decode, once as the scanned slot value — the length word, and the
+        ``count`` reference slots), so cost-model inputs are unchanged.
+        """
+        space = self.space
+        type_slot = obj + TYPE_WORD * WORD_BYTES
+        desc = self.types.by_addr(space.load(type_slot))
+        count = desc.ref_count(space.load(obj + LENGTH_WORD * WORD_BYTES))
+        type_value = space.load(type_slot)
+        base = obj + HEADER_WORDS * WORD_BYTES
+        return type_slot, type_value, base, space.load_slice(base, count)
+
     def iter_ref_slot_addrs(self, obj: int) -> Iterator[int]:
         """Addresses of every reference slot, *including* the type slot.
 
@@ -259,8 +281,5 @@ class ObjectModel:
         self.space.store(addr + LENGTH_WORD * WORD_BYTES, length)
 
     def copy_words(self, src: int, dst: int, nwords: int) -> None:
-        """Copy an object body word-by-word (collection copying)."""
-        space = self.space
-        for i in range(nwords):
-            offset = i * WORD_BYTES
-            space.store(dst + offset, space.load(src + offset))
+        """Copy an object body in one bulk kernel call (collection copying)."""
+        self.space.copy_words(src, dst, nwords)

@@ -79,13 +79,15 @@ class HeapVerifier:
                 queue.append(root)
         words = 0
         model = self.model
-        space = self.space
         while queue:
             obj = queue.pop()
             words += self.check_object(obj)
-            for slot in model.iter_ref_slot_addrs(obj):
-                ref_slots += 1
-                target = space.load(slot)
+            _, type_value, _, ref_values = model.scan_ref_slots(obj)
+            ref_slots += 1 + len(ref_values)
+            if type_value and type_value not in visited:
+                visited.add(type_value)
+                queue.append(type_value)
+            for target in ref_values:
                 if target == 0:
                     continue
                 if target not in visited:

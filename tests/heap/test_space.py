@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import InvalidAddress, OutOfMemory
-from repro.heap.frame import BOOT_ORDER, UNASSIGNED_ORDER
+from repro.heap.frame import BOOT_ORDER, UNASSIGNED_ORDER, Frame
 from repro.heap.space import AddressSpace
 
 
@@ -65,6 +65,17 @@ def test_store_misaligned_raises(space):
         space.store(base + 2, 1)
 
 
+def test_load_misaligned_raises(space):
+    # Loads enforce alignment exactly like stores (the seed let them slip
+    # through to a wrong word).
+    frame = space.acquire_frame("test")
+    base = space.frame_base(frame)
+    space.store(base, 42)
+    for offset in (1, 2, 3):
+        with pytest.raises(InvalidAddress):
+            space.load(base + offset)
+
+
 def test_unmapped_access_raises(space):
     frame = space.acquire_frame("test")
     beyond = space.frame_base(frame) + space.frame_bytes * 10
@@ -83,6 +94,38 @@ def test_release_zeroes_storage(space):
     fresh = space.acquire_frame("test")
     assert fresh is frame
     assert space.load(space.frame_base(fresh)) == 0
+
+
+def test_reset_zeroes_entire_used_prefix(space):
+    # Frame.reset zeroes with one slice assignment; a recycled frame must
+    # read back all-zero across the whole previously-used prefix.
+    frame = space.acquire_frame("test")
+    base = space.frame_base(frame)
+    for i in range(space.frame_words):
+        space.store(base + i * 4, i + 1)
+    frame.used_words = space.frame_words  # full frame
+    space.release_frame(frame)
+    fresh = space.acquire_frame("test")
+    assert fresh is frame
+    assert all(
+        space.load(base + i * 4) == 0 for i in range(space.frame_words)
+    )
+    assert fresh.used_words == 0
+
+
+@pytest.mark.parametrize("used", [0, 64])  # zero-length and full frames
+def test_frame_reset_edge_cases(used):
+    frame = Frame(index=1, size_words=64)
+    frame.allocated = True
+    for i in range(64):
+        frame.words[i] = i + 1
+    frame.used_words = used
+    frame.reset()
+    # The used prefix must be zeroed; beyond it the (never bump-allocated)
+    # residue is allowed to persist — release always runs at the high-water
+    # mark, so nothing observes it.
+    assert list(frame.words[:used]) == [0] * used
+    assert frame.used_words == 0 and not frame.allocated
 
 
 def test_release_unallocated_raises(space):
