@@ -32,6 +32,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis.sweep import heap_multipliers, sweep  # noqa: E402
+from repro.core.remset import RememberedSets  # noqa: E402
 from repro.heap.objectmodel import ObjectModel, TypeRegistry  # noqa: E402
 from repro.heap.space import AddressSpace  # noqa: E402
 from repro.runtime.mutator import MutatorContext  # noqa: E402
@@ -50,7 +51,14 @@ PRE_CHANGE = {
 }
 
 #: Metrics gated by ``--check`` (end-to-end seconds are too noisy to gate).
-GATED_METRICS = tuple(PRE_CHANGE)
+#: Collection-critical fast paths (ISSUE 2) are gated alongside the seed
+#: substrate metrics; ``check`` skips keys a baseline file predates.
+GATED_METRICS = tuple(PRE_CHANGE) + (
+    "remset_inserts_per_s",
+    "remset_drain_slots_per_s",
+    "beltway_traced_words_per_s",
+    "gctk_traced_words_per_s",
+)
 
 
 def _time_loop(fn, min_seconds: float):
@@ -143,6 +151,56 @@ def bench_barrier(min_seconds: float) -> float:
     return n * 1000 / elapsed
 
 
+def bench_remset_insert(min_seconds: float) -> float:
+    """Remset inserts/s (the barrier slow path's SSB append)."""
+    inserts_per_step = 1024
+
+    def step():
+        rs = RememberedSets()
+        insert = rs.insert
+        for src in range(32):
+            base = src << 10
+            for k in range(32):
+                insert(src, (src + 1 + (k & 7)) & 31, base + (k << 2))
+
+    n, elapsed = _time_loop(step, min_seconds)
+    return n * inserts_per_step / elapsed
+
+
+def bench_remset_drain(min_seconds: float) -> float:
+    """Drained slots/s of ``slots_into`` over a populated table (the
+    collection-time remset walk, exercising the target-frame index)."""
+    rs = RememberedSets()
+    for src in range(2, 66):
+        for k in range(16):
+            rs.insert(src, 1, (src << 10) + (k << 2))  # into the target
+        rs.insert(src, src + 100, src << 10)  # noise pair, other target
+    targets = {1}
+    slots = sum(1 for _ in rs.slots_into(targets, set()))
+
+    def step():
+        for _ in rs.slots_into(targets, set()):
+            pass
+
+    n, elapsed = _time_loop(step, min_seconds)
+    return n * slots / elapsed
+
+
+def _bench_trace(collector: str, min_seconds: float) -> float:
+    """Words evacuated/s by forced collections over a linked object graph
+    (the inlined Cheney scan + copy loop)."""
+    vm = VM(heap_bytes=256 * 1024, collector=collector)
+    node = vm.define_type("node", nrefs=2, nscalars=1)
+    mu = MutatorContext(vm)
+    handles = [mu.alloc(node) for _ in range(400)]
+    for i, h in enumerate(handles):
+        mu.write(h, 0, handles[i - 1])
+    per_call = vm.collect().copied_words  # constant: all 400 nodes survive
+
+    n, elapsed = _time_loop(lambda: vm.collect(), min_seconds)
+    return n * per_call / elapsed
+
+
 def bench_sweep(quick: bool, parallel: bool) -> dict:
     """Wall-clock of a small end-to-end sweep, serial and parallel."""
     points = 3 if quick else 5
@@ -169,6 +227,10 @@ def run(quick: bool, parallel: bool = True) -> dict:
         "load_words_per_s": bench_load_words(min_seconds),
         "allocs_per_s": bench_alloc(min_seconds),
         "barrier_stores_per_s": bench_barrier(min_seconds),
+        "remset_inserts_per_s": bench_remset_insert(min_seconds),
+        "remset_drain_slots_per_s": bench_remset_drain(min_seconds),
+        "beltway_traced_words_per_s": _bench_trace("25.25.100", min_seconds),
+        "gctk_traced_words_per_s": _bench_trace("gctk:SS", min_seconds),
     }
     return {
         "schema": 1,
@@ -226,8 +288,9 @@ def main(argv=None) -> int:
 
     report = run(args.quick, parallel=not args.no_parallel)
     for key, value in report["metrics"].items():
-        speedup = report["speedup_vs_pre_change"][key]
-        print(f"{key:<24} {value:14.0f} /s   ({speedup:6.1f}x vs pre-change)")
+        speedup = report["speedup_vs_pre_change"].get(key)
+        suffix = f"   ({speedup:6.1f}x vs pre-change)" if speedup else ""
+        print(f"{key:<28} {value:14.0f} /s{suffix}")
     for key, value in report["end_to_end"].items():
         print(f"{key:<24} {value:14.3f}" if isinstance(value, float)
               else f"{key:<24} {value:>14}")

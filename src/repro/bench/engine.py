@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..heap.address import WORD_BYTES
+from ..heap.objectmodel import HEADER_WORDS
 from ..runtime.mutator import MutatorContext
 from ..runtime.roots import Handle
 from ..runtime.vm import VM
@@ -145,6 +146,32 @@ class SyntheticMutator:
         self._next_phase = spec.phase_bytes
         self.cycles_built = 0
         self.phases_completed = 0
+        # Allocation-loop caches (ISSUE 2): cumulative weights feed
+        # rng.choices directly (same draw sequence as passing weights=),
+        # per-site rows pre-resolve the descriptor and lifetime lookups,
+        # and the compiled ref-count closure replaces the two-call
+        # type_of/length_of walk in the random-slot picker.
+        from itertools import accumulate
+
+        self._cum_weights = list(accumulate(self._weights))
+        self._site_desc = {
+            site.type_name: vm.types.by_name(site.type_name)
+            for site in spec.sites
+        }
+        self._site_rows = [
+            (
+                site,
+                self._site_desc[site.type_name],
+                spec.lifetimes[site.lifetime],
+                site.type_name in ("small", "node", "big"),
+            )
+            for site in spec.sites
+        ]
+        self._ref_count_of = vm.model.compile_ref_count()
+        # randrange(n) for positive n is exactly one _randbelow(n) draw;
+        # binding it directly skips randrange's argument normalisation in
+        # the three random-pick helpers below (identical rng stream).
+        self._randbelow = self.rng._randbelow
 
     # ------------------------------------------------------------------
     def _ensure_types(self) -> None:
@@ -161,7 +188,9 @@ class SyntheticMutator:
     # Allocation helpers
     # ------------------------------------------------------------------
     def alloc_site(self, site: AllocSite) -> Handle:
-        desc = self.vm.types.by_name(site.type_name)
+        desc = self._site_desc.get(site.type_name)
+        if desc is None:
+            desc = self.vm.types.by_name(site.type_name)
         length = 0
         if site.length != (0, 0):
             length = self.rng.randint(*site.length)
@@ -178,18 +207,18 @@ class SyntheticMutator:
         return handle
 
     def _random_slot(self, handle: Handle) -> int:
-        desc = self.vm.model.type_of(handle.addr)
-        count = desc.ref_count(self.vm.model.length_of(handle.addr))
-        return self.rng.randrange(count) if count else -1
+        count = self._ref_count_of(handle.addr)
+        return self._randbelow(count) if count else -1
 
     def _random_live(self, include_immortals: bool = True) -> Optional[Handle]:
-        pool = (len(self.immortals) if include_immortals else 0) + len(self.schedule)
+        immortals = self.immortals
+        pool = (len(immortals) if include_immortals else 0) + len(self.schedule)
         if pool == 0:
             return None
-        if include_immortals and self.rng.randrange(pool) < len(self.immortals):
-            return self.rng.choice(self.immortals)
-        picks = self.schedule.peek_handles(self.rng, 1)
-        return picks[0] if picks else None
+        randbelow = self._randbelow
+        if include_immortals and randbelow(pool) < len(immortals):
+            return immortals[randbelow(len(immortals))]
+        return self.schedule.pick(randbelow)
 
     def link_from_live(self, target: Handle) -> None:
         """Make a random *mortal* live object point at ``target``.
@@ -279,35 +308,66 @@ class SyntheticMutator:
         rng = self.rng
         if spec.setup is not None:
             spec.setup(self)
-        sites = spec.sites
-        while self.allocated_bytes < spec.total_alloc_bytes:
-            site = rng.choices(sites, weights=self._weights)[0]
-            handle = self.alloc_site(site)
-            if site.type_name in ("small", "node", "big"):
-                self.mu.write_int(handle, 0, self.allocated_bytes & 0x7FFFFFFF)
-            if site.link_prob and rng.random() < site.link_prob:
+        # Inner-loop locals: every per-iteration attribute walk and dict
+        # lookup below runs tens of thousands of times per benchmark.  The
+        # rng draw sequence is unchanged: rows only replace the choices
+        # population values, cum_weights replaces the per-call accumulate.
+        rows = self._site_rows
+        cum_weights = self._cum_weights
+        choices = rng.choices
+        random_ = rng.random
+        randint = rng.randint
+        mu = self.mu
+        mu_alloc = mu.alloc
+        mu_write_int = mu.write_int
+        mu_work = mu.work
+        schedule = self.schedule
+        schedule_add = schedule.schedule
+        schedule_reap = schedule.reap
+        immortals_append = self.immortals.append
+        total = spec.total_alloc_bytes
+        mutation_rate = spec.mutation_rate
+        read_whole, read_frac = divmod(spec.read_rate, 1.0)
+        read_whole = int(read_whole)
+        cycle_every = spec.cycle_every_bytes
+        phase_bytes = spec.phase_bytes
+        while self.allocated_bytes < total:
+            site, desc, lifetime, scalar_shape = choices(
+                rows, cum_weights=cum_weights
+            )[0]
+            length = 0
+            if site.length != (0, 0):
+                length = randint(*site.length)
+            handle = mu_alloc(desc, length)
+            size_code = desc.size_code
+            allocated = self.allocated_bytes + (
+                size_code if size_code >= 0 else HEADER_WORDS + length
+            ) * WORD_BYTES
+            self.allocated_bytes = allocated
+            if scalar_shape:
+                mu_write_int(handle, 0, allocated & 0x7FFFFFFF)
+            if site.link_prob and random_() < site.link_prob:
                 self.link_from_live(handle)
-            death = spec.lifetimes[site.lifetime].sample(rng)
+            death = lifetime.sample(rng)
             if death is None:
-                self.immortals.append(handle)
+                immortals_append(handle)
             else:
-                self.schedule.schedule(self.allocated_bytes + death, handle)
-            if spec.mutation_rate and rng.random() < spec.mutation_rate:
+                schedule_add(allocated + death, handle)
+            if mutation_rate and random_() < mutation_rate:
                 self._mutate_pointers()
             # rates above 1.0 mean several operations per allocation
-            whole, frac = divmod(spec.read_rate, 1.0)
-            for _ in range(int(whole)):
+            for _ in range(read_whole):
                 self._read_fields()
-            if frac and rng.random() < frac:
+            if read_frac and random_() < read_frac:
                 self._read_fields()
-            if spec.cycle_every_bytes and self.allocated_bytes >= self._next_cycle:
+            if cycle_every and self.allocated_bytes >= self._next_cycle:
                 self._build_cycle()
-                self._next_cycle += spec.cycle_every_bytes
-            if spec.phase_bytes and self.allocated_bytes >= self._next_phase:
+                self._next_cycle += cycle_every
+            if phase_bytes and self.allocated_bytes >= self._next_phase:
                 self._phase_boundary()
-                self._next_phase += spec.phase_bytes
-            self.mu.work(site.work)
-            self.schedule.reap(self.allocated_bytes)
+                self._next_phase += phase_bytes
+            mu_work(site.work)
+            schedule_reap(self.allocated_bytes)
         return self.vm.finish()
 
     # ------------------------------------------------------------------

@@ -100,6 +100,18 @@ class DeathSchedule:
     def __len__(self) -> int:
         return len(self._heap)
 
+    def pick(self, randbelow) -> Optional[Handle]:
+        """One uniformly random scheduled handle, or None if empty.
+
+        ``randbelow`` is the rng's ``_randbelow`` bound method; the draw
+        sequence is identical to ``peek_handles(rng, 1)`` (``randrange(n)``
+        for positive n is exactly one ``_randbelow(n)`` call).
+        """
+        heap = self._heap
+        if not heap:
+            return None
+        return heap[randbelow(len(heap))][2]
+
     def peek_handles(self, rng: random.Random, k: int) -> List[Handle]:
         """Up to ``k`` random scheduled-live handles (for pointer mutation)."""
         if not self._heap:

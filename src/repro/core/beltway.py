@@ -61,6 +61,14 @@ class BeltwayHeap:
         self.policy = make_policy(config)
         self.remsets = RememberedSets()
         self.barrier = FrameBarrier(space, self.remsets)
+        # Compiled mutator fast paths (ISSUE 2): instance attributes bound
+        # once at heap construction, so every reference store and field
+        # read is one call frame of shifts/compares instead of a stack of
+        # model/barrier/space method calls.  Accounting is bit-identical
+        # to the layered reference paths (see DESIGN.md).
+        self.write_ref_field = self.barrier.compile_write_field(model)
+        self._init_object = self.barrier.compile_init_object(model)
+        self.read_ref_field, _, _ = model.compile_field_ops()
         self.triggers = Triggers(config)
         self.collector = Collector(self)
         self.belts: List[Belt] = [
@@ -106,11 +114,10 @@ class BeltwayHeap:
         addr = inc.alloc(size) if inc is not None else 0
         if not addr:
             addr = self._alloc_slow(size)
-        self.model.init_header(addr, desc, length)
-        # The type-slot store goes through the barrier: this is the TIB
+        # Header init plus the type-slot store through the barrier: the TIB
         # initialisation traffic of §3.3.2 (young source, boot target — the
         # barrier's order compare filters it without a remset insert).
-        self.barrier.write_ref(addr, self.model.type_slot_addr(addr), desc.addr)
+        self._init_object(addr, desc, length)
         self.allocations += 1
         self.allocated_words += size
         return addr
@@ -187,16 +194,9 @@ class BeltwayHeap:
         free_after = self.space.heap_frames_free() - extra_frames
         return free_after >= self.current_reserve_frames()
 
-    # ------------------------------------------------------------------
-    # Field access
-    # ------------------------------------------------------------------
-    def write_ref_field(self, obj: int, index: int, value: int) -> None:
-        """Store a reference into field ``index`` through the barrier."""
-        self.barrier.write_ref(obj, self.model.ref_slot_addr(obj, index), value)
-
-    def read_ref_field(self, obj: int, index: int) -> int:
-        """Reads need no barrier: collections are stop-the-world."""
-        return self.model.get_ref(obj, index)
+    # Field access: ``write_ref_field`` (barriered store) and
+    # ``read_ref_field`` (no barrier — collections are stop-the-world) are
+    # compiled per-instance fast paths bound in ``__init__``.
 
     # ------------------------------------------------------------------
     # Collection

@@ -29,12 +29,11 @@ minimum" (Table 1).
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Set
 
-from ..errors import HeapCorruption
-from ..heap.address import WORD_BYTES
+from ..errors import HeapCorruption, InvalidAddress
+from ..heap.objectmodel import HEADER_WORDS
 from .belt import Increment
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -111,24 +110,74 @@ class Collector:
                 from_increment[index] = inc
 
         dests: Dict[object, Increment] = {}  # dest key -> open destination
-        worklist: Deque = deque()  # (copied addr, dest context)
+        worklist: List = []  # (copied addr, dest context); drained by cursor
         shift = space.frame_shift
         policy = heap.policy
+
+        # Collection-critical locals (ISSUE 2): the trace below bypasses
+        # the word-at-a-time AddressSpace API, reading headers and ref-slot
+        # runs straight out of the frames' typed arrays.  It replicates the
+        # reference path's load/store accounting and error behaviour
+        # exactly — see the counter-equivalence invariant in DESIGN.md.
+        word_mask = space._word_mask
+        resolve = space._resolve
+        types = model.types
+        by_addr = types._by_addr
+        worklist_append = worklist.append
+
+        # Private one-entry frame caches (index -> words array).  The trace
+        # ping-pongs between the scan frame, the from-space object and the
+        # copy destination, so the space's shared single-entry cache
+        # thrashes; frames stay mapped for the whole trace, so caching the
+        # words arrays locally is safe.
+        src_fi = dst_fi = -1
+        src_words = dst_words = None
 
         # -- forwarding --------------------------------------------------
         # ``ctx`` is an opaque destination context: None for ordinary
         # belt-target promotion; train-aware policies (the MOS top belt)
         # return contexts that route an object to its referrer's train,
         # and copied objects pass their context on to their children.
+        # Accounting: a forwarded visit charges 2 loads (status twice),
+        # a copying visit 3 loads (status, type, length) + ``size`` loads
+        # and stores (the bulk copy) + 1 store (the forwarding pointer) —
+        # identical to is_forwarded/size_words/set_forwarding.
         def forward(obj: int, ctx) -> int:
-            if model.is_forwarded(obj):
-                return model.forwarding_address(obj)
-            size = model.size_words(obj)
-            source_inc = from_increment[obj >> shift]
-            new_addr = self._copy_alloc(source_inc, size, dests, from_frames, ctx)
-            model.copy_words(obj, new_addr, size)
-            model.set_forwarding(obj, new_addr)
-            worklist.append((new_addr, ctx))
+            nonlocal src_fi, src_words, dst_fi, dst_words
+            if obj & 3:
+                raise InvalidAddress(f"misaligned load from {obj:#x}")
+            fi = obj >> shift
+            if fi != src_fi:
+                src_words = resolve(fi, obj, "load from").words
+                src_fi = fi
+            words = src_words
+            b = (obj >> 2) & word_mask
+            space.load_count += 1
+            status = words[b]
+            if status & 1:
+                space.load_count += 1
+                return status & ~1
+            space.load_count += 1
+            desc = by_addr.get(words[b + 1])
+            if desc is None:
+                desc = types.by_addr(words[b + 1])
+            sc = desc.size_code
+            size = (HEADER_WORDS + words[b + 2]) if sc < 0 else sc
+            space.load_count += 1
+            new_addr = self._copy_alloc(from_increment[fi], size, dests, from_frames, ctx)
+            # Inline single-frame copy (objects never span frames): same
+            # ``size`` loads + ``size`` stores as the copy_words kernel.
+            di = new_addr >> shift
+            if di != dst_fi:
+                dst_words = resolve(di, new_addr, "store to").words
+                dst_fi = di
+            d = (new_addr >> 2) & word_mask
+            space.load_count += size
+            space.store_count += size
+            dst_words[d : d + size] = words[b : b + size]
+            words[b] = new_addr | 1
+            space.store_count += 1
+            worklist_append((new_addr, ctx))
             result.copied_objects += 1
             result.copied_words += size
             return new_addr
@@ -159,37 +208,67 @@ class Collector:
                 barrier.record_collector_pointer(slot, slot, new_target)
 
         # -- transitive closure (Cheney order) -----------------------------
-        # The scan reads each object's reference slots as one bulk slice
-        # and inlines the barrier's order compare (the body of
-        # ``record_collector_pointer``): per-slot work is one membership
-        # test and one compare, with no per-word load() calls.
+        # The worklist drains in blocks through an integer cursor (list
+        # append + index, FIFO order preserved); each object's reference
+        # slots are read as one typed-array slice and the barrier's order
+        # compare (the body of ``record_collector_pointer``) runs inline
+        # over the slice: per-slot work is one membership test and one
+        # compare, with no per-word load()/store() calls.  Accounting per
+        # object: ``count + 3`` loads (type twice, length, ``count``
+        # slots), 1 store per updated slot — identical to the
+        # scan_ref_slots + space.store reference path.
         orders = space.orders
-        remsets = heap.remsets
-        word_bytes = WORD_BYTES
-        while worklist:
-            obj, ctx = worklist.popleft()
+        insert = heap.remsets.insert
+        # Draining by direct list iteration: a list iterator picks up
+        # items appended during the loop (defined Python semantics),
+        # which is exactly the Cheney gray-queue FIFO.
+        scan_fi = -1
+        scan_words = None
+        for obj, ctx in worklist:
             result.scanned_objects += 1
-            slot, target, base, ref_values = model.scan_ref_slots(obj)
-            result.scanned_ref_slots += 1 + len(ref_values)
+            if obj & 3:
+                raise InvalidAddress(f"misaligned load from {obj + 4:#x}")
             s = obj >> shift
+            if s != scan_fi:
+                scan_words = resolve(s, obj + 4, "load from").words
+                scan_fi = s
+            words = scan_words
+            b = (obj >> 2) & word_mask
+            space.load_count += 1
+            target = words[b + 1]
+            desc = by_addr.get(target)
+            if desc is None:
+                desc = types.by_addr(target)
+            code = desc.ref_code
+            count = words[b + 2] if code < 0 else code
+            space.load_count += count + 2
+            result.scanned_ref_slots += 1 + count
             if target:
                 t = target >> shift
                 if t in from_frames:
                     target = forward(target, ctx)
-                    space.store(slot, target)
+                    words[b + 1] = target
+                    space.store_count += 1
                     t = target >> shift
                 if t != s and orders[t] < orders[s]:
-                    remsets.insert(s, t, slot)
-            for i, target in enumerate(ref_values):
-                if not target:
-                    continue
-                t = target >> shift
-                if t in from_frames:
-                    target = forward(target, ctx)
-                    space.store(base + i * word_bytes, target)
+                    insert(s, t, obj + 4)
+            if count:
+                # Snapshot the run before any forwarding stores, matching
+                # the load_slice-then-iterate reference semantics.
+                refs = words[b + 3 : b + 3 + count]
+                for i, target in enumerate(refs):
+                    if not target:
+                        continue
                     t = target >> shift
-                if t != s and orders[t] < orders[s]:
-                    remsets.insert(s, t, base + i * word_bytes)
+                    if t in from_frames:
+                        # forward() may open a fresh increment, which
+                        # restamps every frame: re-read orders afterwards.
+                        target = forward(target, ctx)
+                        words[b + 3 + i] = target
+                        space.store_count += 1
+                        t = target >> shift
+                    if t != s and orders[t] < orders[s]:
+                        insert(s, t, obj + ((i + 3) << 2))
 
         # -- reclaim -------------------------------------------------------
         result.remset_entries_dropped = heap.remsets.drop_frames(from_frames)

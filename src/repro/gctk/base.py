@@ -45,6 +45,11 @@ class GctkPlan:
         self.ssb = SequentialStoreBuffer()
         self.remsets = self.ssb  # interface parity with BeltwayHeap
         self.barrier = BoundaryBarrier(space, self.ssb)
+        # Compiled mutator fast paths (ISSUE 2), accounting-identical to
+        # the layered reference paths — see BeltwayHeap and DESIGN.md.
+        self.write_ref_field = self.barrier.compile_write_field(model)
+        self._init_object = self.barrier.compile_init_object(model)
+        self.read_ref_field, _, _ = model.compile_field_ops()
         self.root_arrays: List[List[int]] = []
         self.collections: List[CollectionResult] = []
         self.collection_listeners: List[Callable[[CollectionResult], None]] = []
@@ -56,18 +61,14 @@ class GctkPlan:
     def register_roots(self, array: List[int]) -> None:
         self.root_arrays.append(array)
 
-    def write_ref_field(self, obj: int, index: int, value: int) -> None:
-        self.barrier.write_ref(obj, self.model.ref_slot_addr(obj, index), value)
-
-    def read_ref_field(self, obj: int, index: int) -> int:
-        return self.model.get_ref(obj, index)
+    # ``write_ref_field`` / ``read_ref_field`` are compiled per-instance
+    # fast paths bound in ``__init__``.
 
     # ------------------------------------------------------------------
     def alloc(self, desc: TypeDescriptor, length: int = 0) -> int:
         size = desc.size_words(length)
         addr = self._alloc_words(size)
-        self.model.init_header(addr, desc, length)
-        self.barrier.write_ref(addr, self.model.type_slot_addr(addr), desc.addr)
+        self._init_object(addr, desc, length)
         self.allocations += 1
         self.allocated_words += size
         return addr

@@ -6,16 +6,25 @@ Beltway) the whole boot image; copy reachable from-space objects; drain
 the gray queue breadth-first.  Work counters are returned in the same
 :class:`~repro.core.collector.CollectionResult` shape Beltway produces so
 the cost model treats both identically.
+
+The trace is the collection-critical inner loop (ISSUE 2): the gray
+queue drains in blocks through an integer cursor, and each object's
+header and reference-slot run are read straight out of its frame's typed
+array — one frame resolution per object, one slice per scan — instead of
+per-word ``load()`` calls.  Accounting replicates the
+``scan_ref_slots``/``space.store`` reference paths exactly (the
+counter-equivalence invariant; see DESIGN.md): a forwarded visit charges
+2 loads, a copying visit ``3 + size`` loads and ``size + 1`` stores, a
+scan ``count + 3`` loads plus 1 store per updated slot.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Callable, Iterable, List, Set
 
 from ..core.collector import CollectionResult
-from ..heap.address import WORD_BYTES
-from ..heap.objectmodel import ObjectModel
+from ..errors import InvalidAddress
+from ..heap.objectmodel import HEADER_WORDS, ObjectModel
 
 
 def cheney_trace(
@@ -35,16 +44,57 @@ def cheney_trace(
     """
     space = model.space
     shift = space.frame_shift
-    worklist = deque()
+    word_mask = space._word_mask
+    resolve = space._resolve
+    types = model.types
+    by_addr = types._by_addr
+    worklist: List[int] = []
+    worklist_append = worklist.append
+
+    # Private one-entry frame caches.  The trace ping-pongs between the
+    # scan frame, the from-space object and the copy destination, so the
+    # space's shared cache thrashes; frames stay mapped for the whole
+    # trace, so caching (index -> words) locally is safe.  ``src_fi`` and
+    # ``dst_fi`` belong to forward(); the scan loops keep their own.
+    src_fi = dst_fi = -1
+    src_words = dst_words = None
 
     def forward(obj: int) -> int:
-        if model.is_forwarded(obj):
-            return model.forwarding_address(obj)
-        size = model.size_words(obj)
+        nonlocal src_fi, src_words, dst_fi, dst_words
+        if obj & 3:
+            raise InvalidAddress(f"misaligned load from {obj:#x}")
+        fi = obj >> shift
+        if fi != src_fi:
+            src_words = resolve(fi, obj, "load from").words
+            src_fi = fi
+        words = src_words
+        b = (obj >> 2) & word_mask
+        space.load_count += 1
+        status = words[b]
+        if status & 1:
+            space.load_count += 1
+            return status & ~1
+        space.load_count += 1
+        desc = by_addr.get(words[b + 1])
+        if desc is None:
+            desc = types.by_addr(words[b + 1])
+        sc = desc.size_code
+        size = (HEADER_WORDS + words[b + 2]) if sc < 0 else sc
+        space.load_count += 1
         new_addr = alloc_copy(size)
-        model.copy_words(obj, new_addr, size)
-        model.set_forwarding(obj, new_addr)
-        worklist.append(new_addr)
+        # Inline single-frame copy (objects never span frames): same
+        # ``size`` loads + ``size`` stores as the copy_words kernel.
+        di = new_addr >> shift
+        if di != dst_fi:
+            dst_words = resolve(di, new_addr, "store to").words
+            dst_fi = di
+        d = (new_addr >> 2) & word_mask
+        space.load_count += size
+        space.store_count += size
+        dst_words[d : d + size] = words[b : b + size]
+        words[b] = new_addr | 1
+        space.store_count += 1
+        worklist_append(new_addr)
         result.copied_objects += 1
         result.copied_words += size
         return new_addr
@@ -55,31 +105,77 @@ def cheney_trace(
             if value and (value >> shift) in from_frames:
                 array[i] = forward(value)
 
+    space_load = space.load
+    space_store = space.store
     for slot in ssb_slots:
         result.remset_slots += 1
-        target = space.load(slot)
+        target = space_load(slot)
         if target and (target >> shift) in from_frames:
-            space.store(slot, forward(target))
+            space_store(slot, forward(target))
 
-    # The boot-image rescan the boundary barrier forces (§4.2.1).  Both
-    # this and the gray-queue drain below read each object's reference
-    # slots as one bulk slice instead of N load() calls.
+    # The boot-image rescan the boundary barrier forces (§4.2.1): same
+    # inlined scan as the gray-queue drain, charged to boot_slots_scanned.
+    scan_fi = -1
+    scan_words = None
     for obj in boot_objects:
-        slot, target, base, ref_values = model.scan_ref_slots(obj)
-        result.boot_slots_scanned += 1 + len(ref_values)
+        if obj & 3:
+            raise InvalidAddress(f"misaligned load from {obj + 4:#x}")
+        fi = obj >> shift
+        if fi != scan_fi:
+            scan_words = resolve(fi, obj + 4, "load from").words
+            scan_fi = fi
+        words = scan_words
+        b = (obj >> 2) & word_mask
+        space.load_count += 1
+        target = words[b + 1]
+        desc = by_addr.get(target)
+        if desc is None:
+            desc = types.by_addr(target)
+        code = desc.ref_code
+        count = words[b + 2] if code < 0 else code
+        space.load_count += count + 2
+        result.boot_slots_scanned += 1 + count
         if target and (target >> shift) in from_frames:
-            space.store(slot, forward(target))
-        for i, target in enumerate(ref_values):
-            if target and (target >> shift) in from_frames:
-                space.store(base + i * WORD_BYTES, forward(target))
+            words[b + 1] = forward(target)
+            space.store_count += 1
+        if count:
+            refs = words[b + 3 : b + 3 + count]
+            for i, target in enumerate(refs):
+                if target and (target >> shift) in from_frames:
+                    words[b + 3 + i] = forward(target)
+                    space.store_count += 1
 
-    while worklist:
-        obj = worklist.popleft()
+    # Draining by direct list iteration: a list iterator picks up items
+    # appended during the loop (defined Python semantics), which is
+    # exactly the Cheney gray-queue FIFO.
+    scan_fi = -1
+    for obj in worklist:
         result.scanned_objects += 1
-        slot, target, base, ref_values = model.scan_ref_slots(obj)
-        result.scanned_ref_slots += 1 + len(ref_values)
+        if obj & 3:
+            raise InvalidAddress(f"misaligned load from {obj + 4:#x}")
+        fi = obj >> shift
+        if fi != scan_fi:
+            scan_words = resolve(fi, obj + 4, "load from").words
+            scan_fi = fi
+        words = scan_words
+        b = (obj >> 2) & word_mask
+        space.load_count += 1
+        target = words[b + 1]
+        desc = by_addr.get(target)
+        if desc is None:
+            desc = types.by_addr(target)
+        code = desc.ref_code
+        count = words[b + 2] if code < 0 else code
+        space.load_count += count + 2
+        result.scanned_ref_slots += 1 + count
         if target and (target >> shift) in from_frames:
-            space.store(slot, forward(target))
-        for i, target in enumerate(ref_values):
-            if target and (target >> shift) in from_frames:
-                space.store(base + i * WORD_BYTES, forward(target))
+            words[b + 1] = forward(target)
+            space.store_count += 1
+        if count:
+            # Snapshot the run before any forwarding stores, matching the
+            # load_slice-then-iterate reference semantics.
+            refs = words[b + 3 : b + 3 + count]
+            for i, target in enumerate(refs):
+                if target and (target >> shift) in from_frames:
+                    words[b + 3 + i] = forward(target)
+                    space.store_count += 1

@@ -23,7 +23,7 @@ from typing import List, Optional
 from ..bench.spec import BENCHMARK_NAMES, KB
 from ..core.config import EXTENSION_CONFIGS, PAPER_CONFIGS
 from .experiments import ALL_EXPERIMENTS
-from .runner import find_min_heap, run_benchmark
+from .runner import find_min_heap, run_benchmark, run_benchmark_profiled
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -44,6 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--benchmark", required=True, choices=BENCHMARK_NAMES)
     p_run.add_argument("--collector", default="25.25.100")
     p_run.add_argument("--heap-kb", type=float, required=True)
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="print a per-phase wall-time breakdown (mutator/barrier/collect/verify)",
+    )
     _add_common(p_run)
 
     p_min = sub.add_parser("minheap", help="find the minimum heap size")
@@ -102,14 +106,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("experiments: " + ", ".join(sorted(ALL_EXPERIMENTS)))
         return 0
     if args.command == "run":
-        stats = run_benchmark(
-            args.benchmark,
-            args.collector,
-            int(args.heap_kb * KB),
-            scale=args.scale,
-            seed=args.seed,
-        )
-        print(stats.summary_row())
+        if args.profile:
+            stats, phases = run_benchmark_profiled(
+                args.benchmark,
+                args.collector,
+                int(args.heap_kb * KB),
+                scale=args.scale,
+                seed=args.seed,
+            )
+            print(stats.summary_row())
+            total = phases["total"] or 1e-12
+            print("phase breakdown (host wall time):")
+            for name in ("mutator", "barrier", "collect", "verify"):
+                print(
+                    f"  {name:<8} {phases[name] * 1000:9.1f} ms "
+                    f"{100.0 * phases[name] / total:5.1f}%"
+                )
+            print(f"  {'total':<8} {total * 1000:9.1f} ms")
+        else:
+            stats = run_benchmark(
+                args.benchmark,
+                args.collector,
+                int(args.heap_kb * KB),
+                scale=args.scale,
+                seed=args.seed,
+            )
+            print(stats.summary_row())
         return 0 if stats.completed else 1
     if args.command == "minheap":
         minimum = find_min_heap(

@@ -16,7 +16,8 @@ loop — same seeds, same cost-model cycles — just sooner.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..bench.engine import SyntheticMutator
 from ..bench.spec import get_spec
@@ -53,6 +54,99 @@ def run_benchmark(
         return engine.run()
     except OutOfMemory as error:
         return vm.finish(completed=False, failure=str(error))
+
+
+def run_benchmark_profiled(
+    benchmark: str,
+    collector: str,
+    heap_bytes: int,
+    scale: float = 1.0,
+    seed: int = 13,
+    debug_verify: bool = False,
+) -> Tuple[RunStats, Dict[str, float]]:
+    """:func:`run_benchmark` plus a wall-time phase breakdown.
+
+    Returns ``(stats, phases)`` where ``phases`` maps ``mutator`` /
+    ``barrier`` / ``collect`` / ``verify`` / ``total`` to seconds of host
+    wall time.  The barrier and collector phases are measured by wrapping
+    the plan's compiled store path and ``collect`` entry point; mutator
+    time is the remainder.  Wrapping adds per-store timer overhead, so
+    the *absolute* numbers run slower than an unprofiled run — the split
+    is what this is for (finding where a configuration spends its time).
+    """
+    spec = get_spec(benchmark, scale)
+    vm = VM(
+        heap_bytes,
+        collector=collector,
+        locality=spec.locality,
+        debug_verify=debug_verify,
+        benchmark_name=spec.name,
+    )
+    phases = {"mutator": 0.0, "barrier": 0.0, "collect": 0.0, "verify": 0.0}
+    perf = time.perf_counter
+
+    inner_write = vm._write_ref_field
+
+    def timed_write(obj: int, index: int, value: int) -> None:
+        t0 = perf()
+        try:
+            inner_write(obj, index, value)
+        finally:
+            phases["barrier"] += perf() - t0
+
+    vm._write_ref_field = timed_write
+
+    plan = vm.plan
+    # Collections enter through plan.collect (Beltway, semispace) or the
+    # minor/major entry points the Appel allocation path calls directly;
+    # a depth guard keeps delegation (collect -> minor_collect) from
+    # double-counting.
+    depth = [0]
+
+    def _timed_entry(inner):
+        def timed(*args, **kwargs):
+            if depth[0]:
+                return inner(*args, **kwargs)
+            depth[0] = 1
+            t0 = perf()
+            try:
+                return inner(*args, **kwargs)
+            finally:
+                depth[0] = 0
+                phases["collect"] += perf() - t0
+
+        return timed
+
+    for entry in ("collect", "minor_collect", "major_collect"):
+        inner = getattr(plan, entry, None)
+        if inner is not None:
+            setattr(plan, entry, _timed_entry(inner))
+
+    inner_verify = plan.verify
+
+    def timed_verify(*args, **kwargs):
+        t0 = perf()
+        try:
+            return inner_verify(*args, **kwargs)
+        finally:
+            phases["verify"] += perf() - t0
+
+    plan.verify = timed_verify
+
+    engine = SyntheticMutator(vm, spec, seed=seed)
+    t0 = perf()
+    try:
+        stats = engine.run()
+    except OutOfMemory as error:
+        stats = vm.finish(completed=False, failure=str(error))
+    total = perf() - t0
+    # verify() runs both standalone (debug) and from inside collect();
+    # subtract only the non-collect phases from the mutator remainder.
+    phases["total"] = total
+    phases["mutator"] = max(
+        0.0, total - phases["barrier"] - phases["collect"]
+    )
+    return stats, phases
 
 
 def _run_job(job: RunJob) -> RunStats:

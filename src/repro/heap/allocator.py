@@ -25,6 +25,9 @@ class BumpRegion:
         self.frames: List[Frame] = []
         self._cursor = 0  # byte address of next free word
         self._limit = 0  # byte address one past the current frame
+        self._frame_base = 0  # byte address of the current frame's word 0
+        self._current: Optional[Frame] = None
+        self._frame_words = space.frame_words
         self.allocated_words = 0  # words handed out to objects
         self.wasted_words = 0  # frame tails skipped by oversize objects
 
@@ -39,25 +42,26 @@ class BumpRegion:
         self.frames.append(frame)
         self._cursor = self.space.frame_base(frame)
         self._limit = self._cursor + frame.size_bytes
+        self._frame_base = self._cursor
+        self._current = frame
 
     def alloc(self, size_words: int) -> int:
         """Bump-allocate ``size_words``; returns 0 if a new frame is needed."""
-        if size_words > self.space.frame_words:
+        if size_words > self._frame_words:
             raise OutOfMemory(
                 f"object of {size_words} words exceeds the frame size "
-                f"({self.space.frame_words} words); the reproduction, like "
+                f"({self._frame_words} words); the reproduction, like "
                 "GCTk, has no large-object space",
                 requested_words=size_words,
             )
-        size_bytes = size_words * WORD_BYTES
-        if self._cursor + size_bytes > self._limit:
+        cursor = self._cursor
+        new_cursor = cursor + size_words * WORD_BYTES
+        if new_cursor > self._limit:
             return 0
-        addr = self._cursor
-        self._cursor += size_bytes
-        frame = self.frames[-1]
-        frame.used_words = (self._cursor - self.space.frame_base(frame)) // WORD_BYTES
+        self._cursor = new_cursor
+        self._current.used_words = (new_cursor - self._frame_base) // WORD_BYTES
         self.allocated_words += size_words
-        return addr
+        return cursor
 
     # ------------------------------------------------------------------
     @property
@@ -82,5 +86,7 @@ class BumpRegion:
         self.frames = []
         self._cursor = 0
         self._limit = 0
+        self._frame_base = 0
+        self._current = None
         self.allocated_words = 0
         self.wasted_words = 0

@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..errors import HeapCorruption
+from ..errors import HeapCorruption, InvalidAddress
 from .address import WORD_BYTES
 from .space import AddressSpace
 
@@ -56,7 +56,10 @@ class TypeDescriptor:
     address once installed (see :mod:`repro.heap.bootimage`).
     """
 
-    __slots__ = ("name", "kind", "nrefs", "nscalars", "addr", "type_id")
+    __slots__ = (
+        "name", "kind", "nrefs", "nscalars", "addr", "type_id",
+        "ref_code", "scalar_code", "size_code",
+    )
 
     def __init__(
         self,
@@ -74,6 +77,20 @@ class TypeDescriptor:
         self.nscalars = nscalars
         self.addr = 0  # installed by the boot image
         self.type_id = type_id
+        # Shape codes for the compiled fast paths: a non-negative code is
+        # the count itself; -1 means "use the instance's length word".
+        if kind is TypeKind.SCALAR:
+            self.ref_code = nrefs
+            self.scalar_code = nscalars
+            self.size_code = HEADER_WORDS + nrefs + nscalars
+        elif kind is TypeKind.REF_ARRAY:
+            self.ref_code = -1
+            self.scalar_code = 0
+            self.size_code = -1
+        else:  # SCALAR_ARRAY
+            self.ref_code = 0
+            self.scalar_code = -1
+            self.size_code = -1
 
     def size_words(self, length: int = 0) -> int:
         """Total object size in words for an instance of this type."""
@@ -253,6 +270,123 @@ class ObjectModel:
         base = obj + HEADER_WORDS * WORD_BYTES
         for i in range(count):
             yield base + i * WORD_BYTES
+
+    # ------------------------------------------------------------------
+    # Compiled mutator fast paths (ISSUE 2)
+    # ------------------------------------------------------------------
+    def compile_field_ops(self):
+        """Specialised closures for the mutator field-access inner loops.
+
+        Returns ``(read_ref, read_scalar, write_scalar)``, each equivalent
+        to the :meth:`get_ref` / :meth:`get_scalar` / :meth:`set_scalar`
+        reference paths — same bounds errors, same ``load_count`` /
+        ``store_count`` accounting (header decode charges two loads, the
+        slot access one more) — but with the object's frame resolved once
+        and the header words read straight out of the frame's typed array.
+
+        Counter-equivalence invariant: these closures may bypass the
+        word-at-a-time :class:`~repro.heap.space.AddressSpace` API only
+        because they replicate its accounting exactly; see DESIGN.md.
+        """
+        space = self.space
+        types = self.types
+        by_addr = types._by_addr
+        shift = space.frame_shift
+        word_mask = space._word_mask
+        resolve = space._resolve
+
+        def _decode(obj: int):
+            """Resolve the frame and read the header (two charged loads)."""
+            if obj & 3:
+                raise InvalidAddress(f"misaligned load from {obj + 4:#x}")
+            fi = obj >> shift
+            frame = (
+                space._cache_frame
+                if fi == space._cache_index
+                else resolve(fi, obj + 4, "load from")
+            )
+            words = frame.words
+            base = (obj >> 2) & word_mask
+            space.load_count += 1
+            desc = by_addr.get(words[base + 1])
+            if desc is None:
+                desc = types.by_addr(words[base + 1])
+            space.load_count += 1
+            return words, base, desc, words[base + 2]
+
+        def read_ref(obj: int, index: int) -> int:
+            words, base, desc, length = _decode(obj)
+            code = desc.ref_code
+            count = length if code < 0 else code
+            if not 0 <= index < count:
+                raise HeapCorruption(
+                    f"ref slot {index} out of range [0,{count}) for "
+                    f"{desc.name} object {obj:#x}"
+                )
+            space.load_count += 1
+            return words[base + HEADER_WORDS + index]
+
+        def read_scalar(obj: int, index: int) -> int:
+            words, base, desc, length = _decode(obj)
+            code = desc.ref_code
+            refs = length if code < 0 else code
+            code = desc.scalar_code
+            scalars = length if code < 0 else code
+            if not 0 <= index < scalars:
+                raise HeapCorruption(
+                    f"scalar slot {index} out of range [0,{scalars}) for "
+                    f"{desc.name} object {obj:#x}"
+                )
+            space.load_count += 1
+            return words[base + HEADER_WORDS + refs + index]
+
+        def write_scalar(obj: int, index: int, value: int) -> None:
+            words, base, desc, length = _decode(obj)
+            code = desc.ref_code
+            refs = length if code < 0 else code
+            code = desc.scalar_code
+            scalars = length if code < 0 else code
+            if not 0 <= index < scalars:
+                raise HeapCorruption(
+                    f"scalar slot {index} out of range [0,{scalars}) for "
+                    f"{desc.name} object {obj:#x}"
+                )
+            words[base + HEADER_WORDS + refs + index] = value
+            space.store_count += 1
+
+        return read_ref, read_scalar, write_scalar
+
+    def compile_ref_count(self):
+        """Specialised ``ref_count`` of the object at ``obj`` (the benchmark
+        engine's random-slot picker): equivalent to ``type_of`` +
+        ``length_of`` — two charged loads, same errors — in one call."""
+        space = self.space
+        types = self.types
+        by_addr = types._by_addr
+        shift = space.frame_shift
+        word_mask = space._word_mask
+        resolve = space._resolve
+
+        def ref_count_of(obj: int) -> int:
+            if obj & 3:
+                raise InvalidAddress(f"misaligned load from {obj + 4:#x}")
+            fi = obj >> shift
+            frame = (
+                space._cache_frame
+                if fi == space._cache_index
+                else resolve(fi, obj + 4, "load from")
+            )
+            words = frame.words
+            b = (obj >> 2) & word_mask
+            space.load_count += 1
+            desc = by_addr.get(words[b + 1])
+            if desc is None:
+                desc = types.by_addr(words[b + 1])
+            space.load_count += 1
+            code = desc.ref_code
+            return words[b + 2] if code < 0 else code
+
+        return ref_count_of
 
     # ------------------------------------------------------------------
     # Raw field access (no barrier — the runtime layers barriers on top)

@@ -24,6 +24,14 @@ class MutatorContext:
         self.vm = vm
         self.table = RootTable()
         vm.plan.register_roots(self.table.slots)
+        # Bound-method caches for the store/read inner loops: every
+        # benchmark operation funnels through these, so shave the
+        # per-call attribute walks off the mutator fast paths.
+        self._acquire = self.table.acquire
+        self._vm_write_ref = vm.write_ref
+        self._vm_read_ref = vm.read_ref
+        self._vm_write_int = vm.write_int
+        self._vm_read_int = vm.read_int
 
     # ------------------------------------------------------------------
     # Handles
@@ -44,7 +52,7 @@ class MutatorContext:
     # ------------------------------------------------------------------
     def alloc(self, desc: TypeDescriptor, length: int = 0) -> Handle:
         """Allocate an object and return a rooted handle to it."""
-        return self.table.acquire(self.vm.alloc(desc, length))
+        return self._acquire(self.vm.alloc(desc, length))
 
     def alloc_named(self, type_name: str, length: int = 0) -> Handle:
         return self.alloc(self.vm.types.by_name(type_name), length)
@@ -54,27 +62,30 @@ class MutatorContext:
     # ------------------------------------------------------------------
     def write(self, dst: Handle, index: int, src: Optional[Handle]) -> None:
         """``dst.field[index] = src`` through the write barrier."""
-        if dst.is_null:
+        addr = dst.addr
+        if addr == 0:
             raise HeapCorruption("reference store through a null handle")
-        self.vm.write_ref(dst.addr, index, src.addr if src is not None else 0)
+        self._vm_write_ref(addr, index, src.addr if src is not None else 0)
 
     def read(self, src: Handle, index: int) -> Handle:
         """``handle(src.field[index])`` — the result is rooted."""
-        if src.is_null:
+        addr = src.addr
+        if addr == 0:
             raise HeapCorruption("reference load through a null handle")
-        return self.table.acquire(self.vm.read_ref(src.addr, index))
+        return self._acquire(self._vm_read_ref(addr, index))
 
     def read_addr(self, src: Handle, index: int) -> int:
         """Unrooted read: valid only until the next allocation."""
-        if src.is_null:
+        addr = src.addr
+        if addr == 0:
             raise HeapCorruption("reference load through a null handle")
-        return self.vm.read_ref(src.addr, index)
+        return self._vm_read_ref(addr, index)
 
     def write_int(self, dst: Handle, index: int, value: int) -> None:
-        self.vm.write_int(dst.addr, index, value)
+        self._vm_write_int(dst.addr, index, value)
 
     def read_int(self, src: Handle, index: int) -> int:
-        return self.vm.read_int(src.addr, index)
+        return self._vm_read_int(src.addr, index)
 
     def length_of(self, h: Handle) -> int:
         return self.vm.model.length_of(h.addr)

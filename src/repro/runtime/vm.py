@@ -64,6 +64,11 @@ class VM:
         self.boot = BootImage(self.space, self.types, self.model)
         self.boot.alloc_ballast(boot_ballast_slots)
         self.plan = self._make_plan(collector, debug_verify)
+        # Mutator fast paths: the plan's compiled store/read closures plus
+        # the model's compiled scalar accessors, bound once per VM.
+        self._write_ref_field = self.plan.write_ref_field
+        self._read_ref_field = self.plan.read_ref_field
+        _, self._read_scalar, self._write_scalar = self.model.compile_field_ops()
         self.cost_model = cost_model
         self.locality = locality
         self.clock = Clock()
@@ -133,19 +138,19 @@ class VM:
 
     def write_ref(self, obj: int, index: int, value: int) -> None:
         self.field_writes += 1
-        self.plan.write_ref_field(obj, index, value)
+        self._write_ref_field(obj, index, value)
 
     def read_ref(self, obj: int, index: int) -> int:
         self.field_reads += 1
-        return self.plan.read_ref_field(obj, index)
+        return self._read_ref_field(obj, index)
 
     def write_int(self, obj: int, index: int, value: int) -> None:
         self.field_writes += 1
-        self.model.set_scalar(obj, index, value)
+        self._write_scalar(obj, index, value)
 
     def read_int(self, obj: int, index: int) -> int:
         self.field_reads += 1
-        return self.model.get_scalar(obj, index)
+        return self._read_scalar(obj, index)
 
     def work(self, units: float) -> None:
         """Charge benchmark-declared computation (non-memory work)."""

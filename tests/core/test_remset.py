@@ -69,3 +69,69 @@ def test_entries_for_pair():
     rs.insert(3, 1, 0x1000)
     assert rs.entries_for_pair(3, 1) == {0x1000}
     assert rs.entries_for_pair(1, 3) == set()
+
+
+# ----------------------------------------------------------------------
+# SSB layout (ISSUE 2): target-frame index and drain-time dedup
+# ----------------------------------------------------------------------
+
+def test_slots_into_scales_with_matching_pairs_only():
+    """The target-frame index means drain cost is O(matching pairs), not
+    O(all pairs): the regression this guards is ``slots_into`` going back
+    to iterating every (src, tgt) pair in the table."""
+    rs = RememberedSets()
+    for src in range(100, 200):  # 100 pairs into the collected frame
+        rs.insert(src, 1, src << 8)
+    for src in range(100, 200):  # 1000 pairs into uncollected frames
+        for tgt in range(10, 20):
+            rs.insert(src, tgt, (src << 8) | tgt)
+    rs.pairs_scanned = 0
+    got = list(rs.slots_into({1}, set()))
+    assert len(got) == 100
+    assert rs.pairs_scanned == 100  # examined only pairs targeting frame 1
+
+
+def test_slots_into_drains_in_pair_creation_order():
+    """Drain order must reproduce the eager dict-of-sets iteration order
+    (collection copy order depends on it)."""
+    rs = RememberedSets()
+    rs.insert(5, 1, 0x5000)
+    rs.insert(3, 1, 0x3000)
+    rs.insert(4, 1, 0x4000)
+    assert list(rs.slots_into({1}, set())) == [0x5000, 0x3000, 0x4000]
+
+
+def test_pair_recreated_after_drop_moves_to_back():
+    """Dict parity: deleting a key and re-inserting it moves it to the
+    back of the iteration order."""
+    rs = RememberedSets()
+    rs.insert(5, 1, 0x5000)
+    rs.insert(3, 1, 0x3000)
+    assert rs.drop_frames({5}) == 1
+    rs.insert(5, 1, 0x5100)
+    assert list(rs.slots_into({1}, set())) == [0x3000, 0x5100]
+
+
+def test_duplicate_accounting_across_syncs():
+    """Dedup moved from insert time to drain time; the cumulative counters
+    must not notice (duplicates = inserts - distinct, order-independent)."""
+    rs = RememberedSets()
+    rs.insert(3, 1, 0xA0)
+    rs.insert(3, 1, 0xA0)  # duplicate within the pending buffer
+    assert rs.duplicate_inserts == 1  # property forces a drain
+    rs.insert(3, 1, 0xA0)  # duplicate against the already-synced set
+    rs.insert(3, 1, 0xB0)
+    assert rs.duplicate_inserts == 2
+    assert rs.total_entries == 2
+    assert rs.inserts == 4
+
+
+def test_drop_frames_drains_pending_before_dropping():
+    """Dropping a pair with an undrained buffer must still count its
+    duplicates and return the deduplicated entry count."""
+    rs = RememberedSets()
+    rs.insert(3, 1, 0xA0)
+    rs.insert(3, 1, 0xA0)
+    assert rs.drop_frames({1}) == 1
+    assert rs.duplicate_inserts == 1
+    assert len(rs) == 0

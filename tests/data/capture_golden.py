@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Capture fixed-seed counter goldens for the fast-path equivalence tests.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/data/capture_golden.py [--scale 0.4] [--out PATH]
+
+The resulting JSON records every statistics counter the fast-path rework
+is required to keep bit-identical (ISSUE 2): memory-access counts, barrier
+fast/slow/null counts, remset insert/duplicate/peak counts and the
+cost-model cycle totals, for each (benchmark, collector) cell.  The
+checked-in ``golden_counters.json`` was produced by the pre-rework code;
+``tests/core/test_counter_equivalence.py`` replays the same runs against
+it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.bench.engine import SyntheticMutator
+from repro.bench.spec import get_spec
+from repro.errors import OutOfMemory
+from repro.harness.runner import find_min_heap
+from repro.runtime.vm import VM
+
+#: The cells the goldens cover: every benchmark spec, against collectors
+#: exercising all three reworked loops — the Beltway frame barrier +
+#: per-pair remsets (25.25.100), the full-heap Beltway variant (Appel),
+#: the MOS policy (pairs()/entries_for_pair consumers) and the gctk
+#: boundary barrier + SSB + independent Cheney trace (gctk:Appel).
+COLLECTORS = ("25.25.100", "Appel", "25.25.MOS", "gctk:Appel")
+BENCHMARKS = ("jess", "raytrace", "db", "javac", "jack", "pseudojbb")
+
+
+def capture_cell(benchmark: str, collector: str, heap_bytes: int, scale: float,
+                 seed: int = 13) -> dict:
+    spec = get_spec(benchmark, scale)
+    vm = VM(heap_bytes, collector=collector, locality=spec.locality,
+            benchmark_name=spec.name)
+    engine = SyntheticMutator(vm, spec, seed=seed)
+    try:
+        stats = engine.run()
+    except OutOfMemory as error:
+        stats = vm.finish(completed=False, failure=str(error))
+    remsets = vm.plan.remsets
+    barrier = vm.plan.barrier.stats
+    return {
+        "heap_bytes": heap_bytes,
+        "completed": stats.completed,
+        "load_count": vm.space.load_count,
+        "store_count": vm.space.store_count,
+        "allocations": stats.allocations,
+        "allocated_bytes": stats.allocated_bytes,
+        "copied_bytes": stats.copied_bytes,
+        "collections": stats.collections,
+        "full_heap_collections": stats.full_heap_collections,
+        "barrier_fast": barrier.fast_path,
+        "barrier_slow": barrier.slow_path,
+        "barrier_null": barrier.null_stores,
+        "remset_inserts": remsets.inserts,
+        "remset_duplicates": remsets.duplicate_inserts,
+        "remset_entries_final": len(remsets),
+        "peak_remset_entries": stats.peak_remset_entries,
+        "total_cycles": stats.total_cycles,
+        "gc_cycles": stats.gc_cycles,
+        "mutator_cycles": stats.mutator_cycles,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent / "golden_counters.json")
+    args = parser.parse_args()
+    cells = {}
+    for benchmark in BENCHMARKS:
+        heap_bytes = 2 * find_min_heap(benchmark, "gctk:Appel", scale=args.scale,
+                                       seed=args.seed)
+        for collector in COLLECTORS:
+            key = f"{benchmark}/{collector}"
+            cells[key] = capture_cell(
+                benchmark, collector, heap_bytes, args.scale, args.seed)
+            print(key, "ok" if cells[key]["completed"] else "OOM")
+    args.out.write_text(json.dumps(
+        {"scale": args.scale, "seed": args.seed, "cells": cells},
+        indent=1, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()
