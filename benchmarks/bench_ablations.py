@@ -17,7 +17,7 @@ import dataclasses
 from _util import OUTPUT_DIR, SCALE
 
 from repro.core.config import BeltwayConfig
-from repro.harness.runner import run_benchmark
+from repro.harness.runner import RunOptions, run
 
 BENCHMARK = "jess"
 
@@ -87,7 +87,9 @@ def _min_heap_for(config) -> int:
 
 
 def _run(config, heap_bytes):
-    return run_benchmark(BENCHMARK, config, heap_bytes, scale=SCALE)
+    return run(
+        BENCHMARK, config, heap_bytes, options=RunOptions(scale=SCALE)
+    ).stats
 
 
 def test_ablations(benchmark):

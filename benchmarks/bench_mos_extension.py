@@ -18,7 +18,7 @@ from _util import OUTPUT_DIR, SCALE
 
 from repro.errors import OutOfMemory
 from repro.harness.experiments import min_heap
-from repro.harness.runner import run_benchmark
+from repro.harness.runner import RunOptions, run
 from repro.runtime import VM, MutatorContext
 
 CONFIGS = ("25.25", "25.25.100", "25.25.MOS")
@@ -63,7 +63,9 @@ def _measure():
     stress = {config: _cycle_stress(config) for config in CONFIGS}
     minimum = min_heap("javac", SCALE)
     javac = {
-        config: run_benchmark("javac", config, int(1.5 * minimum), scale=SCALE)
+        config: run(
+            "javac", config, int(1.5 * minimum), options=RunOptions(scale=SCALE)
+        ).stats
         for config in CONFIGS
     }
     return stress, javac

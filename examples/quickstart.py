@@ -3,12 +3,14 @@
 
 This example walks the public API end to end:
 
-1.  create a :class:`repro.VM` with a Beltway 25.25.100 configuration
+1.  run a packaged benchmark through :func:`repro.run` — the one-call
+    surface every figure in the paper is built from — with telemetry;
+2.  create a :class:`repro.VM` with a Beltway 25.25.100 configuration
     (two incremental belts plus a growable third belt for completeness);
-2.  define object types (their type objects live in the boot image);
-3.  allocate a linked list through a :class:`repro.MutatorContext` —
+3.  define object types (their type objects live in the boot image);
+4.  allocate a linked list through a :class:`repro.MutatorContext` —
     every reference store goes through the paper's frame write barrier;
-4.  churn garbage until collections happen, then inspect the belt
+5.  churn garbage until collections happen, then inspect the belt
     structure, verify the heap, and read the cost-model statistics.
 
 Run::
@@ -16,10 +18,30 @@ Run::
     python examples/quickstart.py
 """
 
+import repro
 from repro import VM, MutatorContext
 
 
+def run_a_benchmark() -> None:
+    # The consolidated run API: one (benchmark, collector, heap) cell.
+    # RunOptions selects telemetry; with the defaults nothing is
+    # instrumented and only report.stats is filled.
+    report = repro.run(
+        "jess", "25.25.100", 48 * 1024,
+        options=repro.RunOptions(scale=0.2, ring_buffer=0, counters=True),
+    )
+    print("One benchmark run through repro.run():")
+    print(" ", report.stats.summary_row())
+    gcs = [e for e in report.events if e.kind == "gc.end"]
+    print(f"  telemetry: {len(report.events)} events, "
+          f"{len(gcs)} collections observed")
+    print(f"  counters:  gc_copied_bytes_total="
+          f"{report.counters['gc_copied_bytes_total']:.0f}")
+    print()
+
+
 def main() -> None:
+    run_a_benchmark()
     # A 32 KB heap managed by Beltway 25.25.100 (the paper's headline
     # configuration).  Any configuration string from the paper works here:
     # "BSS", "Appel", "BOF.25", "BOFM.25", "10.10", "33.33.100", ...

@@ -20,7 +20,7 @@ Run::
 """
 
 from repro.analysis.mmu import max_pause, mmu, overall_utilisation
-from repro.harness.runner import find_min_heap, run_benchmark
+from repro.harness.runner import RunOptions, find_min_heap, run
 
 COLLECTORS = ["10.10", "10.10.100", "33.33", "33.33.100", "gctk:Appel"]
 BENCHMARK = "javac"
@@ -35,7 +35,9 @@ def main() -> None:
 
     runs = {}
     for collector in COLLECTORS:
-        stats = run_benchmark(BENCHMARK, collector, heap, scale=SCALE)
+        stats = run(
+            BENCHMARK, collector, heap, options=RunOptions(scale=SCALE)
+        ).stats
         if not stats.completed:
             print(f"{collector:<12} did not complete at this heap size")
             continue

@@ -13,10 +13,32 @@ The package implements, from scratch:
 * six synthetic SPEC-like workloads scaled 1024x down from the paper's
   benchmarks (:mod:`repro.bench`);
 * a deterministic cost model and clock (:mod:`repro.sim`), analysis tools
-  including MMU curves (:mod:`repro.analysis`), and one harness entry
-  point per table/figure of the paper (:mod:`repro.harness`).
+  including MMU curves (:mod:`repro.analysis`), a streaming telemetry bus
+  (:mod:`repro.obs`), and one harness entry point per table/figure of the
+  paper (:mod:`repro.harness`).
+
+Stable public surface
+---------------------
+
+The five names most users need are re-exported here:
+
+* :func:`run` — one (benchmark, collector, heap) run → :class:`RunReport`;
+  telemetry (tracing/profiling/counters) selected via :class:`RunOptions`;
+* :func:`run_many` — a batch of runs, process-parallel and bit-identical
+  to the serial loop;
+* :func:`sweep` — one collector across a heap-size grid (the shape every
+  figure is built from);
+* :func:`find_min_heap` — the paper's "smallest heap that completes";
+* :func:`attach_tracer` — event tracing for a hand-built :class:`VM`.
 
 Quick start::
+
+    import repro
+
+    report = repro.run("jess", "25.25.100", 48 * 1024)
+    print(report.stats.summary_row())
+
+or, driving a VM by hand::
 
     from repro import VM, MutatorContext
 
@@ -29,6 +51,7 @@ Quick start::
     stats = vm.finish()             # cost-model run statistics
 """
 
+from .analysis.sweep import sweep
 from .core.beltway import BeltwayHeap
 from .core.config import PAPER_CONFIGS, BeltSpec, BeltwayConfig, PromotionStyle
 from .errors import (
@@ -39,28 +62,62 @@ from .errors import (
     OutOfMemory,
     ReproError,
 )
+from .harness.runner import (
+    RunOptions,
+    RunReport,
+    find_min_heap,
+    run,
+    run_many,
+)
+from .obs import (
+    CounterSink,
+    Event,
+    JsonlSink,
+    RingBufferSink,
+    TelemetryBus,
+    load_jsonl,
+)
 from .runtime.mutator import MutatorContext
 from .runtime.roots import Handle
 from .runtime.vm import VM
 from .sim.stats import RunStats
+from .sim.trace import Tracer, attach_tracer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "BarrierError",
-    "BeltSpec",
-    "BeltwayConfig",
-    "BeltwayHeap",
-    "ConfigError",
+    # consolidated run API
+    "run",
+    "run_many",
+    "sweep",
+    "find_min_heap",
+    "RunOptions",
+    "RunReport",
+    # telemetry
+    "attach_tracer",
+    "Tracer",
+    "TelemetryBus",
+    "Event",
+    "JsonlSink",
+    "RingBufferSink",
+    "CounterSink",
+    "load_jsonl",
+    # VM building blocks
+    "VM",
+    "MutatorContext",
     "Handle",
+    "RunStats",
+    "BeltwayHeap",
+    "BeltwayConfig",
+    "BeltSpec",
+    "PromotionStyle",
+    "PAPER_CONFIGS",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "OutOfMemory",
     "HeapCorruption",
     "InvalidAddress",
-    "MutatorContext",
-    "OutOfMemory",
-    "PAPER_CONFIGS",
-    "PromotionStyle",
-    "ReproError",
-    "RunStats",
-    "VM",
+    "BarrierError",
     "__version__",
 ]

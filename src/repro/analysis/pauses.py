@@ -61,6 +61,19 @@ def summarise(pauses: Sequence[Pause]) -> PauseSummary:
     )
 
 
+def summarise_events(events: Sequence[object]) -> PauseSummary:
+    """Percentile summary straight from a telemetry event stream.
+
+    Accepts what :func:`repro.obs.load_jsonl` returns (flat dicts) or
+    :class:`~repro.obs.events.Event` objects: the pause timeline is read
+    from the ``gc.end`` events, so figures can be regenerated from a
+    ``--trace`` JSONL file without re-running the benchmark.
+    """
+    from ..obs import pauses_from_events
+
+    return summarise(pauses_from_events(events))
+
+
 def histogram(
     pauses: Sequence[Pause], buckets: int = 8
 ) -> List[Tuple[float, float, int]]:

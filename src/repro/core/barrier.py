@@ -141,6 +141,14 @@ class BarrierStats:
     def slow_fraction(self) -> float:
         return self.slow_path / self.fast_path if self.fast_path else 0.0
 
+    def counters(self) -> Dict[str, float]:
+        """Prometheus-style export for the telemetry layer."""
+        return {
+            "barrier_fast_total": float(self.fast_path),
+            "barrier_slow_total": float(self.slow_path),
+            "barrier_null_total": float(self.null_stores),
+        }
+
     def reset(self) -> None:
         self.fast_path = 0
         self.slow_path = 0

@@ -206,6 +206,7 @@ class BeltwayHeap:
         pre = self.policy.pre_collection(self, reason)
         if pre is not None:
             # Copy-free reclamation (a garbage MOS train).
+            pre.reserve_frames = self.current_reserve_frames()
             self.collections.append(pre)
             for listener in self.collection_listeners:
                 listener(pre)
@@ -216,6 +217,7 @@ class BeltwayHeap:
                 f"{self.config.name}: heap full and nothing collectible"
             )
         result = self.collector.collect(batch, reason)
+        result.reserve_frames = self.current_reserve_frames()
         self.collections.append(result)
         for listener in self.collection_listeners:
             listener(result)
@@ -224,6 +226,7 @@ class BeltwayHeap:
     def record_auxiliary_collection(self, result: CollectionResult) -> None:
         """Record a copy-free reclamation performed by the policy (MOS
         train reclamation) so statistics and the cost model see it."""
+        result.reserve_frames = self.current_reserve_frames()
         self.collections.append(result)
         for listener in self.collection_listeners:
             listener(result)

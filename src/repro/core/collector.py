@@ -62,6 +62,10 @@ class CollectionResult:
     #: Boot-image slots rescanned by collectors that do not remember
     #: boot→heap pointers (the gctk Appel baseline; Beltway leaves this 0).
     boot_slots_scanned: int = 0
+    #: Copy-reserve frames the plan holds back *after* this collection
+    #: (Beltway's dynamic conservative reserve; the gctk baselines' fixed
+    #: half-heap).  Telemetry-only: the cost model never reads it.
+    reserve_frames: int = 0
 
     @property
     def survival_rate(self) -> float:

@@ -206,6 +206,21 @@ class RememberedSets:
         self._sync_all()
         return self._total_entries
 
+    def counters(self) -> Dict[str, float]:
+        """Prometheus-style export for the telemetry layer.
+
+        Reading ``total_entries`` drains pending SSB buffers; that is
+        counter-safe (dedup totals are order-independent, see the module
+        docstring), so telemetry may snapshot at any point.
+        """
+        return {
+            "remset_inserts_total": float(self.inserts),
+            "remset_duplicates_total": float(self.duplicate_inserts),
+            "remset_entries": float(self.total_entries),
+            "remset_pairs": float(len(self._synced)),
+            "remset_pairs_scanned_total": float(self.pairs_scanned),
+        }
+
     def pairs(self) -> Iterable[Tuple[int, int]]:
         """All (src, tgt) pairs, in creation order (dict-order parity)."""
         return [

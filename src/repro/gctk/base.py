@@ -85,6 +85,9 @@ class GctkPlan:
         return CollectionResult(reason=reason, collection_id=self._gc_count)
 
     def _emit(self, result: CollectionResult) -> CollectionResult:
+        # Telemetry: the gctk baselines fix the copy reserve at half the
+        # heap (§3.1), unlike Beltway's dynamic conservative reserve.
+        result.reserve_frames = self.space.heap_frames // 2
         self.collections.append(result)
         for listener in self.collection_listeners:
             listener(result)

@@ -116,6 +116,18 @@ class SequentialStoreBuffer:
     def total_entries(self) -> int:
         return len(self.slots)
 
+    def counters(self) -> Dict[str, float]:
+        """Prometheus-style export, key-compatible with
+        :meth:`repro.core.remset.RememberedSets.counters` (an SSB has no
+        per-pair structure, so the pair metrics are 0)."""
+        return {
+            "remset_inserts_total": float(self.inserts),
+            "remset_duplicates_total": float(self.duplicate_inserts),
+            "remset_entries": float(len(self.slots)),
+            "remset_pairs": 0.0,
+            "remset_pairs_scanned_total": 0.0,
+        }
+
 
 class BoundaryBarrier:
     """Remember stores whose target is in the nursery and source is not."""

@@ -8,16 +8,28 @@ from .experiments import (
     clear_caches,
     min_heap,
 )
-from .runner import FRAME_BYTES, find_min_heap, run_benchmark
+from .runner import (
+    FRAME_BYTES,
+    RunOptions,
+    RunReport,
+    find_min_heap,
+    run,
+    run_benchmark,  # deprecated shim, kept importable for one cycle
+    run_many,
+)
 
 __all__ = [
     "ALL_EXPERIMENTS",
     "BASELINE",
     "ExperimentResult",
     "FRAME_BYTES",
+    "RunOptions",
+    "RunReport",
     "cached_sweep",
     "clear_caches",
     "find_min_heap",
     "min_heap",
+    "run",
     "run_benchmark",
+    "run_many",
 ]

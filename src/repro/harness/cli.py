@@ -23,7 +23,7 @@ from typing import List, Optional
 from ..bench.spec import BENCHMARK_NAMES, KB
 from ..core.config import EXTENSION_CONFIGS, PAPER_CONFIGS
 from .experiments import ALL_EXPERIMENTS
-from .runner import find_min_heap, run_benchmark, run_benchmark_profiled
+from .runner import RunOptions, find_min_heap, run
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -47,6 +47,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--profile", action="store_true",
         help="print a per-phase wall-time breakdown (mutator/barrier/collect/verify)",
+    )
+    p_run.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="stream telemetry events (gc, heap snapshots, phases) as JSON lines",
+    )
+    p_run.add_argument(
+        "--snapshot-every", type=int, default=1, metavar="N",
+        help="with --trace: heap snapshot every N collections (0 disables)",
     )
     _add_common(p_run)
 
@@ -106,15 +114,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("experiments: " + ", ".join(sorted(ALL_EXPERIMENTS)))
         return 0
     if args.command == "run":
-        if args.profile:
-            stats, phases = run_benchmark_profiled(
-                args.benchmark,
-                args.collector,
-                int(args.heap_kb * KB),
+        report = run(
+            args.benchmark,
+            args.collector,
+            int(args.heap_kb * KB),
+            options=RunOptions(
                 scale=args.scale,
                 seed=args.seed,
-            )
-            print(stats.summary_row())
+                profile=args.profile,
+                trace=args.trace,
+                snapshot_every=args.snapshot_every,
+            ),
+        )
+        print(report.stats.summary_row())
+        if args.profile:
+            phases = report.phases
             total = phases["total"] or 1e-12
             print("phase breakdown (host wall time):")
             for name in ("mutator", "barrier", "collect", "verify"):
@@ -123,16 +137,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"{100.0 * phases[name] / total:5.1f}%"
                 )
             print(f"  {'total':<8} {total * 1000:9.1f} ms")
-        else:
-            stats = run_benchmark(
-                args.benchmark,
-                args.collector,
-                int(args.heap_kb * KB),
-                scale=args.scale,
-                seed=args.seed,
+        if args.trace:
+            print(
+                f"trace: {report.trace_events_written} events -> {args.trace}"
             )
-            print(stats.summary_row())
-        return 0 if stats.completed else 1
+        return 0 if report.completed else 1
     if args.command == "minheap":
         minimum = find_min_heap(
             args.benchmark, args.collector, scale=args.scale, seed=args.seed

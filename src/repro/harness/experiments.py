@@ -33,7 +33,7 @@ from ..bench.spec import BENCHMARK_NAMES, KB, get_spec
 from ..runtime.vm import VM
 from ..runtime.mutator import MutatorContext
 from ..bench.engine import SyntheticMutator
-from .runner import find_min_heap, run_benchmark
+from .runner import RunOptions, find_min_heap, run
 
 #: The collector whose minimum heap defines each benchmark's 1.0x point,
 #: as in the paper ("minimum heap size in which an Appel-style collector
@@ -64,6 +64,13 @@ class ExperimentResult:
 # ----------------------------------------------------------------------
 # Shared machinery
 # ----------------------------------------------------------------------
+def _run_stats(benchmark: str, collector, heap_bytes: int, scale: float = 1.0):
+    """One telemetry-free run; experiments only consume the stats."""
+    return run(
+        benchmark, collector, heap_bytes, options=RunOptions(scale=scale)
+    ).stats
+
+
 def min_heap(benchmark: str, scale: float = 1.0) -> int:
     key = (benchmark, scale)
     if key not in _min_heap_cache:
@@ -159,8 +166,8 @@ def table1(scale: float = 1.0) -> ExperimentResult:
     for benchmark in BENCHMARK_NAMES:
         spec = get_spec(benchmark, scale)
         minimum = min_heap(benchmark, scale)
-        small = run_benchmark(benchmark, BASELINE, minimum, scale=scale)
-        large = run_benchmark(benchmark, BASELINE, 3 * minimum, scale=scale)
+        small = _run_stats(benchmark, BASELINE, minimum, scale=scale)
+        large = _run_stats(benchmark, BASELINE, 3 * minimum, scale=scale)
         paper = spec.paper
         rows.append(
             [
@@ -317,7 +324,7 @@ def figure4(scale: float = 1.0) -> ExperimentResult:
     configs = ["25.25.100", "Appel", "BOF.25", "gctk:Appel"]
     benchmark = "javac"
     for config in configs:
-        stats = run_benchmark(benchmark, config, heap(benchmark), scale=scale)
+        stats = _run_stats(benchmark, config, heap(benchmark), scale=scale)
         slow_pct = 100.0 * stats.barrier_slow / max(1, stats.barrier_fast)
         rows.append(
             [
@@ -521,8 +528,8 @@ def figure8(points: int = 9, scale: float = 1.0) -> ExperimentResult:
     # cross-increment cycles, the complete configuration's falls back
     # towards the live set at its full top-belt collections.
     javac_min = min_heap("javac", scale)
-    xx = run_benchmark("javac", "25.25", int(1.5 * javac_min), scale=scale)
-    complete = run_benchmark(
+    xx = _run_stats("javac", "25.25", int(1.5 * javac_min), scale=scale)
+    complete = _run_stats(
         "javac", "25.25.100", int(1.5 * javac_min), scale=scale
     )
     floor_xx = xx.late_occupancy_floor()
@@ -709,7 +716,7 @@ def figure11(scale: float = 1.0) -> ExperimentResult:
         curves = {}
         pauses = {}
         for collector in collectors:
-            stats = run_benchmark("javac", collector, heap, scale=scale)
+            stats = _run_stats("javac", collector, heap, scale=scale)
             if not stats.completed:
                 continue
             intervals = stats.pause_intervals()
@@ -769,7 +776,7 @@ def responsiveness(scale: float = 1.0) -> ExperimentResult:
     rows = []
     data = {}
     for collector in collectors:
-        stats = run_benchmark(benchmark, collector, heap, scale=scale)
+        stats = _run_stats(benchmark, collector, heap, scale=scale)
         if not stats.completed:
             rows.append([collector, "FAILED", "", "", ""])
             continue

@@ -1,11 +1,19 @@
 """Run benchmarks against collectors; discover minimum heap sizes.
 
-Every figure in the paper is built from :func:`run_benchmark` calls: one
-(benchmark, collector, heap size) → RunStats.  Minimum heaps (Table 1 and
-the x-axis normalisation of every plot) come from :func:`find_min_heap`,
-a doubling-then-bisection search over heap sizes at frame granularity —
-the same "smallest heap in which the program completes" definition the
-paper uses (§4.1).
+Every figure in the paper is built from :func:`run` calls: one
+(benchmark, collector, heap size) → :class:`RunReport`.  Minimum heaps
+(Table 1 and the x-axis normalisation of every plot) come from
+:func:`find_min_heap`, a doubling-then-bisection search over heap sizes
+at frame granularity — the same "smallest heap in which the program
+completes" definition the paper uses (§4.1).
+
+:func:`run` is the single entry point for executing a run; telemetry
+(tracing, profiling, counter export) is selected through
+:class:`RunOptions` rather than through parallel ``run_*`` variants.
+When no telemetry is requested the VM executes with **no instrumentation
+attached at all** — the golden-counter tests pin that path bit-identical
+to the pre-telemetry harness.  The old :func:`run_benchmark` /
+:func:`run_benchmark_profiled` names remain as deprecated shims.
 
 :func:`run_many` is the process-parallel fan-out behind the sweep layer:
 each (benchmark, collector, heap size) run is completely independent (its
@@ -17,11 +25,15 @@ loop — same seeds, same cost-model cycles — just sooner.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..bench.engine import SyntheticMutator
 from ..bench.spec import get_spec
-from ..errors import OutOfMemory, ReproError
+from ..core.config import BeltwayConfig
+from ..errors import OutOfMemory
+from ..obs import CounterSink, JsonlSink, RingBufferSink, TelemetryBus, attach
 from ..runtime.vm import EXPERIMENT_FRAME_SHIFT, VM
 from ..sim.stats import RunStats
 
@@ -32,6 +44,144 @@ FRAME_BYTES = 1 << EXPERIMENT_FRAME_SHIFT
 RunJob = Tuple[str, str, int, float, int]
 
 
+@dataclass(frozen=True)
+class RunOptions:
+    """Everything about *how* to execute a run (the *what* — benchmark,
+    collector, heap — stays positional on :func:`run`).
+
+    Telemetry is attached to the VM only if at least one of ``profile``,
+    ``trace``, ``ring_buffer``, ``counters`` or ``sinks`` asks for it;
+    otherwise the run is instrumentation-free and bit-identical to the
+    pre-telemetry harness.
+    """
+
+    #: Workload length multiplier (1.0 = the scaled paper workload).
+    scale: float = 1.0
+    #: Benchmark PRNG seed; runs are fully determined by it.
+    seed: int = 13
+    #: Run the heap verifier after every collection (slow; debugging).
+    verify: bool = False
+    #: Measure a wall-time phase breakdown (wraps the store path — adds
+    #: per-store overhead, so only the *split* is meaningful).
+    profile: bool = False
+    #: Write telemetry events as JSON lines to this path or text stream.
+    trace: Optional[object] = None
+    #: Emit a ``heap.snapshot`` event after every Nth collection
+    #: (0 disables periodic snapshots).  Only used when telemetry is on.
+    snapshot_every: int = 1
+    #: Keep the last N events in memory (0 = unbounded); ``None`` disables
+    #: the ring buffer.  Events land in ``RunReport.events``.
+    ring_buffer: Optional[int] = None
+    #: Fold events into a Prometheus-style counter snapshot
+    #: (``RunReport.counters``).
+    counters: bool = False
+    #: Extra telemetry sinks (anything with ``accept(event)``) to
+    #: subscribe for the duration of the run.  Not closed by the harness.
+    sinks: Tuple = ()
+
+
+@dataclass
+class RunReport:
+    """Outcome of one :func:`run`: the stats plus whatever telemetry the
+    options requested (``None`` for artefacts that were not enabled)."""
+
+    stats: RunStats
+    #: Host wall seconds per phase (``profile=True``), else ``None``.
+    phases: Optional[Dict[str, float]] = None
+    #: Prometheus-style name → value snapshot (``counters=True``).
+    counters: Optional[Dict[str, float]] = None
+    #: Ring-buffered :class:`~repro.obs.events.Event` list
+    #: (``ring_buffer`` set).
+    events: Optional[List] = None
+    #: Lines written to the ``trace`` JSONL sink (0 when not tracing).
+    trace_events_written: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.stats.completed
+
+
+def _wants_telemetry(options: RunOptions) -> bool:
+    return bool(
+        options.profile
+        or options.trace is not None
+        or options.ring_buffer is not None
+        or options.counters
+        or options.sinks
+    )
+
+
+def run(
+    spec: str,
+    plan: Union[str, BeltwayConfig],
+    heap_bytes: int,
+    *,
+    options: Optional[RunOptions] = None,
+) -> RunReport:
+    """One complete run; OutOfMemory is reported, not raised.
+
+    ``spec`` is a benchmark name (see ``repro.bench.spec``), ``plan`` a
+    collector spec (``"25.25.100"``, ``"gctk:Appel"``, or a parsed
+    :class:`~repro.core.config.BeltwayConfig`).  ``options`` selects
+    scale/seed and any telemetry; with the defaults the run is
+    instrumentation-free and ``RunReport.stats`` is all that is filled.
+    """
+    options = options or RunOptions()
+    bench = get_spec(spec, options.scale)
+    vm = VM(
+        heap_bytes,
+        collector=plan,
+        locality=bench.locality,
+        debug_verify=options.verify,
+        benchmark_name=bench.name,
+    )
+    engine = SyntheticMutator(vm, bench, seed=options.seed)
+
+    if not _wants_telemetry(options):
+        try:
+            stats = engine.run()
+        except OutOfMemory as error:
+            stats = vm.finish(completed=False, failure=str(error))
+        return RunReport(stats=stats)
+
+    bus = TelemetryBus()
+    jsonl = ring = counter_sink = None
+    if options.trace is not None:
+        jsonl = bus.subscribe(JsonlSink(options.trace))
+    if options.ring_buffer is not None:
+        ring = bus.subscribe(
+            RingBufferSink(capacity=options.ring_buffer or None)
+        )
+    if options.counters:
+        counter_sink = bus.subscribe(CounterSink())
+    for sink in options.sinks:
+        bus.subscribe(sink)
+    inst = attach(
+        vm, bus,
+        snapshot_every=options.snapshot_every,
+        profile=options.profile,
+    )
+    inst.begin(scale=options.scale, seed=options.seed)
+    t0 = time.perf_counter()
+    try:
+        stats = engine.run()
+    except OutOfMemory as error:
+        stats = vm.finish(completed=False, failure=str(error))
+    phases = inst.end(stats, total_wall_s=time.perf_counter() - t0)
+    if jsonl is not None:
+        jsonl.close()
+    return RunReport(
+        stats=stats,
+        phases=phases if options.profile else None,
+        counters=counter_sink.snapshot() if counter_sink is not None else None,
+        events=list(ring.events) if ring is not None else None,
+        trace_events_written=jsonl.count if jsonl is not None else 0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Deprecated pre-RunOptions entry points
+# ----------------------------------------------------------------------
 def run_benchmark(
     benchmark: str,
     collector: str,
@@ -40,20 +190,15 @@ def run_benchmark(
     seed: int = 13,
     debug_verify: bool = False,
 ) -> RunStats:
-    """One complete run; OutOfMemory is reported, not raised."""
-    spec = get_spec(benchmark, scale)
-    vm = VM(
-        heap_bytes,
-        collector=collector,
-        locality=spec.locality,
-        debug_verify=debug_verify,
-        benchmark_name=spec.name,
+    """Deprecated: use :func:`run` (returns a :class:`RunReport`)."""
+    warnings.warn(
+        "run_benchmark() is deprecated; use "
+        "run(spec, plan, heap_bytes, options=RunOptions(...)).stats",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    engine = SyntheticMutator(vm, spec, seed=seed)
-    try:
-        return engine.run()
-    except OutOfMemory as error:
-        return vm.finish(completed=False, failure=str(error))
+    options = RunOptions(scale=scale, seed=seed, verify=debug_verify)
+    return run(benchmark, collector, heap_bytes, options=options).stats
 
 
 def run_benchmark_profiled(
@@ -64,95 +209,25 @@ def run_benchmark_profiled(
     seed: int = 13,
     debug_verify: bool = False,
 ) -> Tuple[RunStats, Dict[str, float]]:
-    """:func:`run_benchmark` plus a wall-time phase breakdown.
-
-    Returns ``(stats, phases)`` where ``phases`` maps ``mutator`` /
-    ``barrier`` / ``collect`` / ``verify`` / ``total`` to seconds of host
-    wall time.  The barrier and collector phases are measured by wrapping
-    the plan's compiled store path and ``collect`` entry point; mutator
-    time is the remainder.  Wrapping adds per-store timer overhead, so
-    the *absolute* numbers run slower than an unprofiled run — the split
-    is what this is for (finding where a configuration spends its time).
-    """
-    spec = get_spec(benchmark, scale)
-    vm = VM(
-        heap_bytes,
-        collector=collector,
-        locality=spec.locality,
-        debug_verify=debug_verify,
-        benchmark_name=spec.name,
+    """Deprecated: use :func:`run` with ``RunOptions(profile=True)``."""
+    warnings.warn(
+        "run_benchmark_profiled() is deprecated; use "
+        "run(spec, plan, heap_bytes, options=RunOptions(profile=True))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    phases = {"mutator": 0.0, "barrier": 0.0, "collect": 0.0, "verify": 0.0}
-    perf = time.perf_counter
-
-    inner_write = vm._write_ref_field
-
-    def timed_write(obj: int, index: int, value: int) -> None:
-        t0 = perf()
-        try:
-            inner_write(obj, index, value)
-        finally:
-            phases["barrier"] += perf() - t0
-
-    vm._write_ref_field = timed_write
-
-    plan = vm.plan
-    # Collections enter through plan.collect (Beltway, semispace) or the
-    # minor/major entry points the Appel allocation path calls directly;
-    # a depth guard keeps delegation (collect -> minor_collect) from
-    # double-counting.
-    depth = [0]
-
-    def _timed_entry(inner):
-        def timed(*args, **kwargs):
-            if depth[0]:
-                return inner(*args, **kwargs)
-            depth[0] = 1
-            t0 = perf()
-            try:
-                return inner(*args, **kwargs)
-            finally:
-                depth[0] = 0
-                phases["collect"] += perf() - t0
-
-        return timed
-
-    for entry in ("collect", "minor_collect", "major_collect"):
-        inner = getattr(plan, entry, None)
-        if inner is not None:
-            setattr(plan, entry, _timed_entry(inner))
-
-    inner_verify = plan.verify
-
-    def timed_verify(*args, **kwargs):
-        t0 = perf()
-        try:
-            return inner_verify(*args, **kwargs)
-        finally:
-            phases["verify"] += perf() - t0
-
-    plan.verify = timed_verify
-
-    engine = SyntheticMutator(vm, spec, seed=seed)
-    t0 = perf()
-    try:
-        stats = engine.run()
-    except OutOfMemory as error:
-        stats = vm.finish(completed=False, failure=str(error))
-    total = perf() - t0
-    # verify() runs both standalone (debug) and from inside collect();
-    # subtract only the non-collect phases from the mutator remainder.
-    phases["total"] = total
-    phases["mutator"] = max(
-        0.0, total - phases["barrier"] - phases["collect"]
+    options = RunOptions(
+        scale=scale, seed=seed, verify=debug_verify, profile=True
     )
-    return stats, phases
+    report = run(benchmark, collector, heap_bytes, options=options)
+    return report.stats, report.phases
 
 
 def _run_job(job: RunJob) -> RunStats:
     """Execute one grid cell (module-level so it pickles for worker pools)."""
     benchmark, collector, heap_bytes, scale, seed = job
-    return run_benchmark(benchmark, collector, heap_bytes, scale=scale, seed=seed)
+    options = RunOptions(scale=scale, seed=seed)
+    return run(benchmark, collector, heap_bytes, options=options).stats
 
 
 def run_many(
@@ -194,11 +269,10 @@ def find_min_heap(
     spec = get_spec(benchmark, scale)
     lo = start_bytes or max(4 * FRAME_BYTES, spec.total_alloc_bytes // 64)
     lo = _round_frames(lo)
+    options = RunOptions(scale=scale, seed=seed)
 
     def completes(heap_bytes: int) -> bool:
-        return run_benchmark(
-            benchmark, collector, heap_bytes, scale=scale, seed=seed
-        ).completed
+        return run(benchmark, collector, heap_bytes, options=options).completed
 
     # Phase 1: double until success.
     hi = lo

@@ -30,10 +30,12 @@ class BumpRegion:
         self._frame_words = space.frame_words
         self.allocated_words = 0  # words handed out to objects
         self.wasted_words = 0  # frame tails skipped by oversize objects
+        self.rollovers = 0  # frames appended over the region's lifetime
 
     # ------------------------------------------------------------------
     def add_frame(self, frame: Frame) -> None:
         """Append a freshly acquired frame and point the cursor at it."""
+        self.rollovers += 1
         if self.frames and self._cursor < self._limit:
             # Abandon the current tail; it becomes waste.
             self.wasted_words += (self._limit - self._cursor) // WORD_BYTES

@@ -1,0 +1,180 @@
+"""Telemetry event types and their schemas.
+
+Every event on the :class:`~repro.obs.bus.TelemetryBus` is a ``(kind,
+time, data)`` triple: ``kind`` names one of the schemas below, ``time``
+is the *simulated* clock in cycles (host wall/CPU times, where present,
+are explicit ``*_s`` fields inside ``data``), and ``data`` is a flat
+JSON-serialisable mapping.
+
+The schema table is the contract between publishers (the instrumentation
+layer) and consumers (sinks, the analysis layer, external tooling parsing
+``--trace`` JSONL files): required keys must be present with the declared
+types; extra keys are allowed so publishers can enrich events without
+breaking old readers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+#: number-or-bool is deliberate: JSON round-trips Python bools as bools.
+_NUM = (int, float)
+
+#: kind -> {required data key: accepted type(s)}.
+EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
+    # One run starts: identity of the (benchmark, collector, heap) cell.
+    "run.start": {
+        "benchmark": (str,),
+        "collector": (str,),
+        "heap_bytes": _NUM,
+        "scale": _NUM,
+        "seed": _NUM,
+    },
+    # One run ends: outcome plus the counter-export snapshot and the
+    # per-phase host-time breakdown (subsumes the old ``--profile``).
+    "run.end": {
+        "completed": (bool,),
+        "failure": (str,),
+        "counters": (dict,),
+        "phases": (dict,),
+    },
+    # A collection is entered (before any copying happens).
+    "gc.start": {
+        "seq": _NUM,
+        "reason": (str,),
+        "heap_frames_in_use": _NUM,
+        "heap_frames": _NUM,
+        "reserve_frames": _NUM,
+    },
+    # A CollectionResult was produced (after the pause was charged).
+    "gc.end": {
+        "id": _NUM,
+        "reason": (str,),
+        "belts": (list,),
+        "increments": _NUM,
+        "from_frames": _NUM,
+        "copied_objects": _NUM,
+        "copied_words": _NUM,
+        "copied_bytes": _NUM,
+        "freed_frames": _NUM,
+        "remset_slots": _NUM,
+        "full_heap": (bool,),
+        "pause_start": _NUM,
+        "pause_end": _NUM,
+        "pause_cycles": _NUM,
+        "heap_frames_in_use": _NUM,
+        "reserve_frames": _NUM,
+        "wall_s": _NUM,
+    },
+    # Remset work of one collection, as a batch: mutator inserts since the
+    # previous batch, slots drained and entries dropped by this collection.
+    "remset.batch": {
+        "inserts": _NUM,
+        "drained_slots": _NUM,
+        "dropped_entries": _NUM,
+        "entries": _NUM,
+    },
+    # The allocation substrate mapped a fresh frame (region rollover).
+    "alloc.region": {
+        "frame": _NUM,
+        "space": (str,),
+        "heap_frames_in_use": _NUM,
+    },
+    # Periodic heap-occupancy snapshot.
+    "heap.snapshot": {
+        "frames_in_use": _NUM,
+        "frames_total": _NUM,
+        "occupied_words": _NUM,
+        "remset_entries": _NUM,
+        "allocations": _NUM,
+    },
+    # One phase of the host-time breakdown (emitted at run end).
+    "phase": {
+        "name": (str,),
+        "wall_s": _NUM,
+    },
+}
+
+
+class SchemaError(ValueError):
+    """An event does not conform to its declared schema."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """One telemetry event: kind, simulated-clock time, payload."""
+
+    kind: str
+    time: float
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """One flat JSON object (``kind`` and ``time`` join the payload)."""
+        return json.dumps(
+            {"kind": self.kind, "time": self.time, **self.data}, sort_keys=True
+        )
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "Event":
+        """Rebuild an Event from a parsed JSONL line."""
+        data = {k: v for k, v in obj.items() if k not in ("kind", "time")}
+        return cls(kind=obj["kind"], time=obj["time"], data=data)
+
+
+def validate_event(event) -> None:
+    """Raise :class:`SchemaError` unless ``event`` matches its schema.
+
+    Accepts an :class:`Event` or a parsed JSONL dict (flat form).  Unknown
+    kinds and missing/mistyped required keys are errors; extra keys are
+    allowed by design.
+    """
+    if isinstance(event, Event):
+        kind, time, data = event.kind, event.time, event.data
+    else:
+        kind = event.get("kind")
+        time = event.get("time")
+        data = {k: v for k, v in event.items() if k not in ("kind", "time")}
+    schema = EVENT_SCHEMAS.get(kind)
+    if schema is None:
+        raise SchemaError(f"unknown event kind {kind!r}")
+    if not isinstance(time, _NUM) or isinstance(time, bool):
+        raise SchemaError(f"{kind}: time must be a number, got {time!r}")
+    for key, types in schema.items():
+        if key not in data:
+            raise SchemaError(f"{kind}: missing required field {key!r}")
+        value = data[key]
+        # bool is an int subclass; only accept it where declared.
+        if isinstance(value, bool) and bool not in types:
+            raise SchemaError(f"{kind}.{key}: expected {types}, got bool")
+        if not isinstance(value, types):
+            raise SchemaError(
+                f"{kind}.{key}: expected {types}, got {type(value).__name__}"
+            )
+
+
+def validate_events(events: Iterable) -> int:
+    """Validate a stream of events; returns how many were checked."""
+    count = 0
+    for event in events:
+        validate_event(event)
+        count += 1
+    return count
+
+
+def pauses_from_events(events: Iterable) -> List[Tuple[float, float]]:
+    """Reconstruct the pause timeline from ``gc.end`` events.
+
+    Accepts Events or parsed JSONL dicts; the result feeds directly into
+    :mod:`repro.analysis.pauses` and :mod:`repro.analysis.mmu`.
+    """
+    out: List[Tuple[float, float]] = []
+    for event in events:
+        if isinstance(event, Event):
+            kind, data = event.kind, event.data
+        else:
+            kind, data = event.get("kind"), event
+        if kind == "gc.end":
+            out.append((data["pause_start"], data["pause_end"]))
+    return out

@@ -1,0 +1,305 @@
+"""Attach-time VM instrumentation: where telemetry events come from.
+
+The fast paths of this repository (the compiled mutator store loop, the
+inlined Cheney trace) must stay bit-identical and unslowed when nobody is
+observing, so instrumentation is **attach-time wrapping**, not in-line
+hooks: :func:`attach` wraps a VM's collection entry points, frame
+acquisition, and (optionally, for profiling) its barriered store path as
+instance attributes.  A VM that was never attached executes code with no
+telemetry branches at all — that is the "compiled out when disabled"
+guarantee the golden-counter tests pin down.
+
+The layering rule (DESIGN.md §10): instrumentation *reads* counters and
+the simulated clock and *never* issues loads/stores, draws from the
+benchmark RNG, or mutates collector state.  The one subtlety is remset
+entry counts: reading ``len(remsets)`` drains pending SSB buffers early,
+which is explicitly counter-safe (dedup totals are order-independent —
+see ``repro.core.remset``).
+
+Event flow per collection::
+
+    plan.collect(reason)            -> gc.start   (wrapper, before work)
+      ... copying trace ...
+      collection_listeners fire     -> gc.end, remset.batch   (listener,
+                                       after the VM charged the pause)
+      every Nth collection          -> heap.snapshot
+    space.acquire_frame(...)        -> alloc.region (any region rollover)
+    run end                         -> phase* , run.end  (harness-driven)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ..heap.address import WORD_BYTES
+from .bus import TelemetryBus
+
+#: Collection entry points wrapped on a plan (whichever exist).
+_COLLECT_ENTRIES = ("collect", "minor_collect", "major_collect")
+
+
+def attach(
+    vm,
+    bus: TelemetryBus,
+    snapshot_every: int = 1,
+    profile: bool = False,
+) -> "Instrumentation":
+    """Wire ``vm`` to publish telemetry into ``bus``; returns the handle.
+
+    ``snapshot_every`` emits a ``heap.snapshot`` event after every Nth
+    collection; ``0`` disables periodic snapshots (``snapshot_now`` still
+    works).  ``profile=True`` additionally wraps the barriered store path
+    and the verifier with host timers — per-store overhead, so only the
+    *split* of the resulting phase breakdown is meaningful.
+    """
+    return Instrumentation(vm, bus, snapshot_every=snapshot_every, profile=profile)
+
+
+class Instrumentation:
+    """One VM's telemetry hookup; owns the wrappers and the phase timers."""
+
+    def __init__(
+        self,
+        vm,
+        bus: TelemetryBus,
+        snapshot_every: int = 1,
+        profile: bool = False,
+    ):
+        if snapshot_every < 0:
+            raise ValueError(
+                f"snapshot_every must be >= 0 (0 disables periodic "
+                f"snapshots), got {snapshot_every}"
+            )
+        self.vm = vm
+        self.bus = bus
+        self.snapshot_every = snapshot_every
+        self.profile = profile
+        #: Host wall time per phase; ``mutator`` and ``total`` are filled
+        #: by :meth:`end`.  ``barrier``/``verify`` stay 0.0 unless
+        #: ``profile=True`` wrapped their per-call timers.
+        self.phases: Dict[str, float] = {
+            "mutator": 0.0, "barrier": 0.0, "collect": 0.0,
+            "verify": 0.0, "total": 0.0,
+        }
+        self._since_snapshot = 0
+        self._last_inserts = 0
+        self._gc_seq = 0
+        self._depth = 0
+        self._entry_wall = 0.0
+        self._wrap_collect_entries()
+        self._wrap_acquire_frame()
+        if profile:
+            self._wrap_barrier()
+            self._wrap_verify()
+        vm.plan.collection_listeners.append(self._on_collection)
+
+    # ------------------------------------------------------------------
+    # Wrappers
+    # ------------------------------------------------------------------
+    def _wrap_collect_entries(self) -> None:
+        plan = self.vm.plan
+        for entry in _COLLECT_ENTRIES:
+            inner = getattr(plan, entry, None)
+            if inner is not None:
+                setattr(plan, entry, self._timed_entry(inner, entry))
+
+    def _timed_entry(self, inner, entry_name: str):
+        perf = time.perf_counter
+
+        def timed(*args, **kwargs):
+            if self._depth:  # delegation (collect -> minor_collect)
+                return inner(*args, **kwargs)
+            self._depth = 1
+            self._gc_seq += 1
+            reason = args[0] if args else kwargs.get("reason", entry_name)
+            self._emit_gc_start(str(reason))
+            self._entry_wall = t0 = perf()
+            try:
+                return inner(*args, **kwargs)
+            finally:
+                self._depth = 0
+                self.phases["collect"] += perf() - t0
+
+        return timed
+
+    def _emit_gc_start(self, reason: str) -> None:
+        vm = self.vm
+        space = vm.space
+        self.bus.emit("gc.start", vm.clock.now, {
+            "seq": self._gc_seq,
+            "reason": reason,
+            "heap_frames_in_use": space.heap_frames_in_use,
+            "heap_frames": space.heap_frames,
+            "reserve_frames": self._reserve_frames(),
+        })
+
+    def _reserve_frames(self) -> int:
+        current = getattr(self.vm.plan, "current_reserve_frames", None)
+        return current() if current is not None else 0
+
+    def _wrap_acquire_frame(self) -> None:
+        space = self.vm.space
+        inner = space.acquire_frame
+        bus = self.bus
+        clock = self.vm.clock
+
+        def acquire_frame(space_name, boot=False):
+            frame = inner(space_name, boot)
+            bus.emit("alloc.region", clock.now, {
+                "frame": frame.index,
+                "space": space_name,
+                "heap_frames_in_use": space.heap_frames_in_use,
+            })
+            return frame
+
+        space.acquire_frame = acquire_frame
+
+    def _wrap_barrier(self) -> None:
+        vm = self.vm
+        inner = vm._write_ref_field
+        phases = self.phases
+        perf = time.perf_counter
+
+        def timed_write(obj, index, value):
+            t0 = perf()
+            try:
+                inner(obj, index, value)
+            finally:
+                phases["barrier"] += perf() - t0
+
+        vm._write_ref_field = timed_write
+
+    def _wrap_verify(self) -> None:
+        plan = self.vm.plan
+        inner = plan.verify
+        phases = self.phases
+        perf = time.perf_counter
+
+        def timed_verify(*args, **kwargs):
+            t0 = perf()
+            try:
+                return inner(*args, **kwargs)
+            finally:
+                phases["verify"] += perf() - t0
+
+        plan.verify = timed_verify
+
+    # ------------------------------------------------------------------
+    # Collection listener
+    # ------------------------------------------------------------------
+    def _on_collection(self, result) -> None:
+        """Emit gc.end + remset.batch; appended *after* the VM's own
+        listener, so the pause is already on the clock when this runs."""
+        vm = self.vm
+        now = vm.clock.now
+        pauses = vm.clock.pauses
+        if pauses:
+            pause = pauses[-1]
+            pause_start, pause_end = pause.start, pause.end
+        else:  # listener attached on a bare plan without a VM clock
+            pause_start = pause_end = now
+        # Host wall time from collection entry to this result's emission
+        # (a batched collection's auxiliary results report partial times).
+        wall_s = time.perf_counter() - self._entry_wall if self._depth else 0.0
+        self.bus.emit("gc.end", now, {
+            "id": result.collection_id,
+            "reason": result.reason,
+            "belts": list(result.belts_collected),
+            "increments": result.increments_collected,
+            "from_frames": result.from_frames,
+            "copied_objects": result.copied_objects,
+            "copied_words": result.copied_words,
+            "copied_bytes": result.copied_words * WORD_BYTES,
+            "freed_frames": result.freed_frames,
+            "remset_slots": result.remset_slots,
+            "full_heap": result.was_full_heap,
+            "pause_start": pause_start,
+            "pause_end": pause_end,
+            "pause_cycles": pause_end - pause_start,
+            "heap_frames_in_use": vm.space.heap_frames_in_use,
+            "reserve_frames": result.reserve_frames,
+            "wall_s": wall_s,
+        })
+        remsets = vm.plan.remsets
+        inserts = remsets.inserts
+        self.bus.emit("remset.batch", now, {
+            "inserts": inserts - self._last_inserts,
+            "drained_slots": result.remset_slots,
+            "dropped_entries": result.remset_entries_dropped,
+            "entries": len(remsets),
+        })
+        self._last_inserts = inserts
+        if self.snapshot_every:
+            self._since_snapshot += 1
+            if self._since_snapshot >= self.snapshot_every:
+                self.snapshot_now()
+                self._since_snapshot = 0
+
+    # ------------------------------------------------------------------
+    # Harness-driven events
+    # ------------------------------------------------------------------
+    def snapshot_now(self) -> Dict[str, float]:
+        """Emit (and return the payload of) a heap-occupancy snapshot."""
+        vm = self.vm
+        plan = vm.plan
+        space = vm.space
+        data = {
+            "frames_in_use": space.heap_frames_in_use,
+            "frames_total": space.heap_frames,
+            "occupied_words": plan.live_words_upper_bound,
+            "remset_entries": len(plan.remsets),
+            "allocations": plan.allocations,
+        }
+        self.bus.emit("heap.snapshot", vm.clock.now, data)
+        return data
+
+    def begin(self, scale: float = 1.0, seed: int = 0) -> None:
+        """Emit run.start for this VM's (benchmark, collector, heap)."""
+        vm = self.vm
+        self.bus.emit("run.start", vm.clock.now, {
+            "benchmark": vm.benchmark_name,
+            "collector": vm.collector_name,
+            "heap_bytes": vm.heap_bytes,
+            "scale": scale,
+            "seed": seed,
+        })
+
+    def end(self, stats, total_wall_s: Optional[float] = None) -> Dict[str, float]:
+        """Finalise phases, emit phase events and run.end; returns phases.
+
+        ``stats`` is the run's :class:`~repro.sim.stats.RunStats`;
+        ``total_wall_s`` is the harness-measured wall time of the whole
+        run (mutator time is the remainder after barrier + collect).
+        """
+        phases = self.phases
+        if total_wall_s is not None:
+            phases["total"] = total_wall_s
+            phases["mutator"] = max(
+                0.0, total_wall_s - phases["barrier"] - phases["collect"]
+            )
+        now = self.vm.clock.now
+        # Flush mutator remset inserts since the last collection, so the
+        # per-batch inserts telescope exactly to the run's insert total.
+        remsets = self.vm.plan.remsets
+        inserts = remsets.inserts
+        if inserts != self._last_inserts:
+            self.bus.emit("remset.batch", now, {
+                "inserts": inserts - self._last_inserts,
+                "drained_slots": 0,
+                "dropped_entries": 0,
+                "entries": len(remsets),
+            })
+            self._last_inserts = inserts
+        for name in ("mutator", "barrier", "collect", "verify", "total"):
+            self.bus.emit("phase", now, {"name": name, "wall_s": phases[name]})
+        counters = stats.counters()
+        counters.update(self.vm.plan.barrier.stats.counters())
+        counters.update(self.vm.plan.remsets.counters())
+        self.bus.emit("run.end", now, {
+            "completed": stats.completed,
+            "failure": stats.failure,
+            "counters": counters,
+            "phases": dict(phases),
+        })
+        return dict(phases)

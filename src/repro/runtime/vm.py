@@ -160,6 +160,17 @@ class VM:
         return self.plan.collect(reason)
 
     # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, bus, snapshot_every: int = 1, profile: bool = False):
+        """Publish this VM's events into a telemetry ``bus``; returns the
+        :class:`~repro.obs.instrument.Instrumentation` handle.  A VM that
+        never attaches runs with no telemetry branches at all."""
+        from ..obs import attach  # lazy: keep the obs layer optional
+
+        return attach(self, bus, snapshot_every=snapshot_every, profile=profile)
+
+    # ------------------------------------------------------------------
     # Cost accounting
     # ------------------------------------------------------------------
     def _mutator_multiplier(self, delta_alloc_words: int) -> float:

@@ -9,7 +9,7 @@ paper is derived from these records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .clock import PauseRecord
 from .cost import cycles_to_seconds
@@ -86,6 +86,35 @@ class RunStats:
     def pause_intervals(self) -> List[Tuple[float, float]]:
         """(start, end) pairs for the MMU computation."""
         return [(p.start, p.end) for p in self.pauses]
+
+    def counters(self) -> Dict[str, float]:
+        """Prometheus-style ``name -> value`` export of this run.
+
+        This is the counter snapshot the telemetry layer publishes in its
+        ``run.end`` event and the analysis layer consumes instead of
+        reaching into VM internals; names follow the ``*_total`` counter /
+        bare-name gauge convention.
+        """
+        durations = [p.duration for p in self.pauses]
+        return {
+            "run_completed": float(self.completed),
+            "run_total_cycles": float(self.total_cycles),
+            "run_gc_cycles": float(self.gc_cycles),
+            "run_mutator_cycles": float(self.mutator_cycles),
+            "alloc_objects_total": float(self.allocations),
+            "alloc_bytes_total": float(self.allocated_bytes),
+            "gc_collections_total": float(self.collections),
+            "gc_full_heap_total": float(self.full_heap_collections),
+            "gc_copied_bytes_total": float(self.copied_bytes),
+            "gc_pauses_total": float(len(durations)),
+            "gc_pause_cycles_total": float(sum(durations)),
+            "gc_max_pause_cycles": float(max(durations, default=0.0)),
+            "barrier_fast_total": float(self.barrier_fast),
+            "barrier_slow_total": float(self.barrier_slow),
+            "remset_inserts_total": float(self.remset_inserts),
+            "remset_peak_entries": float(self.peak_remset_entries),
+            "heap_peak_footprint_bytes": float(self.peak_footprint_bytes),
+        }
 
     def summary_row(self) -> str:
         """One formatted line for console tables."""

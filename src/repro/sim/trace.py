@@ -5,15 +5,31 @@ the simulated clock, what it collected, what it copied and freed — plus
 periodic heap-shape snapshots, and serialises them as JSON lines.  This
 is the artefact to diff when two collector versions disagree, and the
 input for external plotting.
+
+Since the telemetry bus landed (``repro.obs``), :class:`Tracer` is a thin
+*subscriber* on that bus rather than a second hook path into the
+collector: attaching a tracer attaches standard VM instrumentation
+(``repro.obs.instrument.attach``) to a private bus and folds the richer
+``gc.end`` / ``heap.snapshot`` events down to the legacy two-kind
+``TraceEvent`` timeline, so traces written before and after the bus
+existed stay diffable line for line.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
-from typing import IO, Dict, List, Optional
+from dataclasses import dataclass
+from typing import IO, Dict, List
 
+from ..obs import TelemetryBus, attach
 from ..runtime.vm import VM
+
+#: gc.end payload keys copied verbatim into a "collection" TraceEvent —
+#: exactly the fields the pre-bus tracer recorded, in its spelling.
+_COLLECTION_KEYS = (
+    "id", "reason", "belts", "from_frames", "copied_words",
+    "copied_objects", "freed_frames", "remset_slots", "full_heap",
+)
 
 
 @dataclass(frozen=True)
@@ -32,56 +48,41 @@ class TraceEvent:
 
 
 class Tracer:
-    """Attach to a VM before the run; read ``events`` after it."""
+    """Attach to a VM before the run; read ``events`` after it.
+
+    ``snapshot_every=N`` records a heap-shape snapshot after every Nth
+    collection; ``snapshot_every=0`` (the default) disables periodic
+    snapshots — :meth:`snapshot` still records one on demand.  Negative
+    values raise ``ValueError``.
+    """
 
     def __init__(self, vm: VM, snapshot_every: int = 0):
         self.vm = vm
         self.events: List[TraceEvent] = []
-        self._snapshot_every = snapshot_every
-        self._since_snapshot = 0
-        vm.plan.collection_listeners.append(self._on_collection)
+        self.bus = TelemetryBus()
+        # All hooks into the VM live in the shared instrumentation; the
+        # tracer itself only folds bus events down to TraceEvents.
+        self._inst = attach(vm, self.bus, snapshot_every=snapshot_every)
+        self.bus.subscribe(self)
 
     # ------------------------------------------------------------------
-    def _on_collection(self, result) -> None:
-        self.events.append(
-            TraceEvent(
-                kind="collection",
-                time=self.vm.clock.now,
-                data={
-                    "id": result.collection_id,
-                    "reason": result.reason,
-                    "belts": list(result.belts_collected),
-                    "from_frames": result.from_frames,
-                    "copied_words": result.copied_words,
-                    "copied_objects": result.copied_objects,
-                    "freed_frames": result.freed_frames,
-                    "remset_slots": result.remset_slots,
-                    "full_heap": result.was_full_heap,
-                },
+    # Bus subscriber
+    # ------------------------------------------------------------------
+    def accept(self, event) -> None:
+        if event.kind == "gc.end":
+            data = {key: event.data[key] for key in _COLLECTION_KEYS}
+            self.events.append(
+                TraceEvent(kind="collection", time=event.time, data=data)
             )
-        )
-        self._since_snapshot += 1
-        if self._snapshot_every and self._since_snapshot >= self._snapshot_every:
-            self.snapshot()
-            self._since_snapshot = 0
+        elif event.kind == "heap.snapshot":
+            self.events.append(
+                TraceEvent(kind="snapshot", time=event.time, data=dict(event.data))
+            )
 
     def snapshot(self) -> TraceEvent:
         """Record the current heap shape."""
-        plan = self.vm.plan
-        space = self.vm.space
-        event = TraceEvent(
-            kind="snapshot",
-            time=self.vm.clock.now,
-            data={
-                "frames_in_use": space.heap_frames_in_use,
-                "frames_total": space.heap_frames,
-                "occupied_words": plan.live_words_upper_bound,
-                "remset_entries": len(plan.remsets),
-                "allocations": plan.allocations,
-            },
-        )
-        self.events.append(event)
-        return event
+        self._inst.snapshot_now()
+        return self.events[-1]
 
     # ------------------------------------------------------------------
     def collections(self) -> List[TraceEvent]:
@@ -96,6 +97,11 @@ class Tracer:
             stream.write(event.to_json())
             stream.write("\n")
         return len(self.events)
+
+
+def attach_tracer(vm: VM, snapshot_every: int = 0) -> Tracer:
+    """Attach a :class:`Tracer` to ``vm`` and return it (public API)."""
+    return Tracer(vm, snapshot_every=snapshot_every)
 
 
 def load_jsonl(stream: IO[str]) -> List[Dict]:

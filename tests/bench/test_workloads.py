@@ -4,7 +4,13 @@ import pytest
 
 from repro.bench.spec import BENCHMARK_NAMES, KB, all_specs, canonical_name, get_spec
 from repro.errors import ConfigError
-from repro.harness.runner import run_benchmark
+from repro.harness.runner import RunOptions, run
+
+
+def _run_stats(name, collector, heap_bytes, scale=1.0):
+    return run(
+        name, collector, heap_bytes, options=RunOptions(scale=scale)
+    ).stats
 
 
 def test_registry_names_and_aliases():
@@ -52,11 +58,11 @@ def test_benchmark_runs_to_completion(name):
     """Each benchmark completes at ~2.5x its paper minimum, shortened 5x."""
     spec = get_spec(name)
     heap = int(2.5 * spec.paper.min_heap_bytes)
-    stats = run_benchmark(name, "gctk:Appel", heap, scale=0.2)
+    stats = _run_stats(name, "gctk:Appel", heap, scale=0.2)
     assert stats.completed, stats.failure
     assert stats.allocated_bytes >= 0.2 * spec.total_alloc_bytes * 0.9
     # the unshortened run at the same heap must need collections
-    full = run_benchmark(name, "gctk:Appel", heap)
+    full = _run_stats(name, "gctk:Appel", heap)
     assert full.completed and full.collections > 0
 
 
@@ -64,8 +70,8 @@ def test_benchmark_runs_to_completion(name):
 def test_benchmark_deterministic(name):
     spec = get_spec(name)
     heap = int(2.5 * spec.paper.min_heap_bytes)
-    a = run_benchmark(name, "25.25.100", heap, scale=0.1)
-    b = run_benchmark(name, "25.25.100", heap, scale=0.1)
+    a = _run_stats(name, "25.25.100", heap, scale=0.1)
+    b = _run_stats(name, "25.25.100", heap, scale=0.1)
     assert a.total_cycles == b.total_cycles
     assert a.collections == b.collections
 

@@ -1,31 +1,113 @@
 """Tests for the runner, min-heap search, experiments machinery and CLI."""
 
+import json
+
 import pytest
 
 from repro.harness.cli import build_parser, main
 from repro.harness.experiments import ExperimentResult, figure23
-from repro.harness.runner import FRAME_BYTES, find_min_heap, run_benchmark
+from repro.harness.runner import (
+    FRAME_BYTES,
+    RunOptions,
+    RunReport,
+    find_min_heap,
+    run,
+    run_benchmark,
+    run_benchmark_profiled,
+)
 
 
-def test_run_benchmark_success():
-    stats = run_benchmark("jess", "25.25.100", 48 * 1024, scale=0.2)
+def _stats(benchmark, collector, heap_bytes, scale):
+    return run(
+        benchmark, collector, heap_bytes, options=RunOptions(scale=scale)
+    ).stats
+
+
+def test_run_success():
+    report = run("jess", "25.25.100", 48 * 1024, options=RunOptions(scale=0.2))
+    assert isinstance(report, RunReport)
+    assert report.completed
+    assert report.stats.benchmark == "jess"
+    assert report.stats.collector == "25.25.100"
+    # No telemetry requested -> no telemetry artefacts.
+    assert report.phases is None
+    assert report.counters is None
+    assert report.events is None
+    assert report.trace_events_written == 0
+
+
+def test_run_failure_reported_not_raised():
+    report = run("jess", "gctk:Appel", 2 * 1024, options=RunOptions(scale=0.2))
+    assert not report.completed
+    assert report.stats.failure
+
+
+def test_run_default_options():
+    assert run("jess", "25.25.100", 48 * 1024).completed
+
+
+def test_run_profile_phases():
+    report = run(
+        "jess", "25.25.100", 48 * 1024,
+        options=RunOptions(scale=0.1, profile=True),
+    )
+    phases = report.phases
+    assert set(phases) == {"mutator", "barrier", "collect", "verify", "total"}
+    assert phases["total"] > 0
+    assert phases["collect"] > 0
+    assert phases["mutator"] + phases["barrier"] + phases["collect"] <= (
+        phases["total"] + 1e-9
+    )
+
+
+def test_run_trace_writes_jsonl(tmp_path):
+    out = tmp_path / "trace.jsonl"
+    report = run(
+        "jess", "25.25.100", 48 * 1024,
+        options=RunOptions(scale=0.1, trace=str(out)),
+    )
+    assert report.completed
+    lines = [json.loads(l) for l in out.read_text().splitlines() if l.strip()]
+    assert len(lines) == report.trace_events_written > 0
+    kinds = {line["kind"] for line in lines}
+    assert {"run.start", "gc.start", "gc.end", "heap.snapshot",
+            "phase", "run.end"} <= kinds
+
+
+def test_run_ring_buffer_and_counters():
+    report = run(
+        "jess", "25.25.100", 48 * 1024,
+        options=RunOptions(scale=0.1, ring_buffer=0, counters=True),
+    )
+    assert report.events
+    assert any(e.kind == "gc.end" for e in report.events)
+    assert report.counters["run_completed"] == 1.0
+    assert report.counters["gc_collections_total"] == float(
+        report.stats.collections
+    )
+
+
+def test_deprecated_shims_warn_and_match():
+    with pytest.warns(DeprecationWarning):
+        stats = run_benchmark("jess", "25.25.100", 48 * 1024, scale=0.2)
     assert stats.completed
-    assert stats.benchmark == "jess"
-    assert stats.collector == "25.25.100"
-
-
-def test_run_benchmark_failure_reported_not_raised():
-    stats = run_benchmark("jess", "gctk:Appel", 2 * 1024, scale=0.2)
-    assert not stats.completed
-    assert stats.failure
+    assert stats.total_cycles == _stats(
+        "jess", "25.25.100", 48 * 1024, 0.2
+    ).total_cycles
+    with pytest.warns(DeprecationWarning):
+        stats, phases = run_benchmark_profiled(
+            "jess", "25.25.100", 48 * 1024, scale=0.1
+        )
+    assert stats.completed
+    assert phases["total"] > 0
 
 
 def test_find_min_heap_is_minimal():
     minimum = find_min_heap("jess", "gctk:Appel", scale=0.2)
     assert minimum % FRAME_BYTES == 0
-    assert run_benchmark("jess", "gctk:Appel", minimum, scale=0.2).completed
+    assert _stats("jess", "gctk:Appel", minimum, 0.2).completed
     below = minimum - FRAME_BYTES
-    assert not run_benchmark("jess", "gctk:Appel", below, scale=0.2).completed
+    assert not _stats("jess", "gctk:Appel", below, 0.2).completed
 
 
 def test_experiment_result_checks():
@@ -68,6 +150,28 @@ def test_cli_run_failure_exit_code(capsys):
          "--heap-kb", "2", "--scale", "0.1"]
     )
     assert code == 1
+
+
+def test_cli_run_trace(tmp_path, capsys):
+    out = tmp_path / "cli-trace.jsonl"
+    code = main(
+        ["run", "--benchmark", "jess", "--collector", "25.25.100",
+         "--heap-kb", "48", "--scale", "0.1", "--trace", str(out)]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "trace:" in printed
+    lines = [json.loads(l) for l in out.read_text().splitlines() if l.strip()]
+    assert any(line["kind"] == "gc.end" for line in lines)
+
+
+def test_cli_run_profile(capsys):
+    code = main(
+        ["run", "--benchmark", "jess", "--collector", "25.25.100",
+         "--heap-kb", "48", "--scale", "0.1", "--profile"]
+    )
+    assert code == 0
+    assert "phase breakdown" in capsys.readouterr().out
 
 
 def test_cli_minheap(capsys):

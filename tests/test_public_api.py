@@ -23,7 +23,8 @@ def test_every_module_imports():
 @pytest.mark.parametrize(
     "package",
     ["repro", "repro.heap", "repro.core", "repro.analysis", "repro.sim",
-     "repro.bench", "repro.runtime", "repro.gctk"],
+     "repro.bench", "repro.runtime", "repro.gctk", "repro.obs",
+     "repro.harness"],
 )
 def test_all_exports_resolve(package):
     module = importlib.import_module(package)
@@ -32,7 +33,16 @@ def test_all_exports_resolve(package):
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
+
+
+def test_stable_run_surface():
+    """The consolidated public API: five entry points, importable flat."""
+    for name in ("run", "run_many", "sweep", "find_min_heap",
+                 "attach_tracer", "RunOptions", "RunReport",
+                 "TelemetryBus", "Tracer"):
+        assert name in repro.__all__
+        assert callable(getattr(repro, name))
 
 
 def test_readme_quickstart_runs():
