@@ -304,6 +304,71 @@ def bench_telemetry(quick: bool) -> dict:
     }
 
 
+#: Hard ceiling on the sanitizer-disabled overhead of the ``run()`` API —
+#: a VM that never attaches the sanitizer must execute structurally
+#: untouched code (DESIGN §11).  Gated on the same deterministic
+#: interpreter-call ratio as the telemetry gate.
+SANITIZER_DISABLED_MAX_OVERHEAD = 0.02
+
+
+def bench_sanitizer(quick: bool) -> dict:
+    """Sanitizer overhead: unattached (gated) vs fully attached.
+
+    Three variants of the identical fixed-seed workload:
+
+    * ``raw`` — VM + SyntheticMutator driven directly;
+    * ``off`` — through ``run()`` with the sanitizer available but not
+      attached: the path the 2% gate protects (its entire footprint is
+      one class-attribute ``is None`` test per mutator context plus two
+      falsy option checks per run);
+    * ``on``  — through ``run()`` with the shadow graph, differential
+      checker and invariant suite attached.  Informational only: full
+      checking costs what it costs (every mutator op is mirrored and
+      every collection boundary walks the heap) and is reported so the
+      trajectory is visible, not bounded.
+    """
+    benchmark, heap, scale, seed = "jess", 48 * 1024, 0.2, 13
+    rounds = 3 if quick else 5
+
+    def run_raw():
+        spec = get_spec(benchmark, scale)
+        vm = VM(heap, collector="25.25.100", locality=spec.locality,
+                benchmark_name=spec.name)
+        SyntheticMutator(vm, spec, seed=seed).run()
+
+    def run_off():
+        run_cell(benchmark, "25.25.100", heap,
+                 options=RunOptions(scale=scale, seed=seed))
+
+    def run_on():
+        run_cell(benchmark, "25.25.100", heap,
+                 options=RunOptions(scale=scale, seed=seed, sanitize=True))
+
+    variants = {"raw": run_raw, "off": run_off, "on": run_on}
+    for fn in variants.values():
+        fn()  # warm-up
+    calls = {name: _count_calls(fn) for name, fn in variants.items()}
+    best = {name: float("inf") for name in variants}
+    for _ in range(rounds):
+        for name, fn in variants.items():
+            start = time.perf_counter()
+            fn()
+            best[name] = min(best[name], time.perf_counter() - start)
+    return {
+        "sanitizer_raw_seconds": best["raw"],
+        "sanitizer_off_seconds": best["off"],
+        "sanitizer_on_seconds": best["on"],
+        "sanitizer_raw_calls": calls["raw"],
+        "sanitizer_off_calls": calls["off"],
+        "sanitizer_on_calls": calls["on"],
+        "sanitizer_disabled_overhead_frac":
+            calls["off"] / calls["raw"] - 1.0,
+        "sanitizer_attached_overhead_frac":
+            calls["on"] / calls["raw"] - 1.0,
+        "sanitizer_attached_wall_frac": best["on"] / best["raw"] - 1.0,
+    }
+
+
 def bench_sweep(quick: bool, parallel: bool) -> dict:
     """Wall-clock of a small end-to-end sweep, serial and parallel."""
     points = 3 if quick else 5
@@ -340,6 +405,7 @@ def run(quick: bool, parallel: bool = True) -> dict:
         "mode": "quick" if quick else "full",
         "metrics": metrics,
         "telemetry": bench_telemetry(quick),
+        "sanitizer": bench_sanitizer(quick),
         "end_to_end": bench_sweep(quick, parallel),
         "pre_change": PRE_CHANGE,
         "speedup_vs_pre_change": {
@@ -375,6 +441,17 @@ def check(report: dict, baseline_path: Path, threshold: float) -> int:
               f"{'OK' if ok else 'REGRESSED'}")
         if not ok:
             failures.append("telemetry_disabled_overhead_frac")
+    # Sanitizer unattached-mode overhead: same absolute, deterministic
+    # gate — a never-attached VM must stay within 2% of raw (DESIGN §11).
+    # The attached-mode numbers are reported above, informationally.
+    overhead = report.get("sanitizer", {}).get("sanitizer_disabled_overhead_frac")
+    if overhead is not None:
+        ok = overhead <= SANITIZER_DISABLED_MAX_OVERHEAD
+        print(f"  {'sanitizer_disabled_overhead':<24} {overhead:14.4f} "
+              f"(limit {SANITIZER_DISABLED_MAX_OVERHEAD:.2f})  "
+              f"{'OK' if ok else 'REGRESSED'}")
+        if not ok:
+            failures.append("sanitizer_disabled_overhead_frac")
     if failures:
         print(f"FAIL: throughput regressed >{threshold:.0%} on: "
               f"{', '.join(failures)}")
@@ -408,6 +485,8 @@ def main(argv=None) -> int:
         suffix = f"   ({speedup:6.1f}x vs pre-change)" if speedup else ""
         print(f"{key:<28} {value:14.0f} /s{suffix}")
     for key, value in report["telemetry"].items():
+        print(f"{key:<34} {value:10.4f}")
+    for key, value in report["sanitizer"].items():
         print(f"{key:<34} {value:10.4f}")
     for key, value in report["end_to_end"].items():
         print(f"{key:<24} {value:14.3f}" if isinstance(value, float)

@@ -80,10 +80,18 @@ from .obs import (
 from .runtime.mutator import MutatorContext
 from .runtime.roots import Handle
 from .runtime.vm import VM
+from .sanitizer import (
+    FaultSpec,
+    Sanitizer,
+    SanitizerReport,
+    SanitizerViolation,
+    arm_faults,
+    attach_sanitizer,
+)
 from .sim.stats import RunStats
 from .sim.trace import Tracer, attach_tracer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # consolidated run API
@@ -102,6 +110,13 @@ __all__ = [
     "RingBufferSink",
     "CounterSink",
     "load_jsonl",
+    # sanitizer
+    "attach_sanitizer",
+    "Sanitizer",
+    "SanitizerReport",
+    "SanitizerViolation",
+    "FaultSpec",
+    "arm_faults",
     # VM building blocks
     "VM",
     "MutatorContext",

@@ -30,7 +30,7 @@ from ..errors import HeapCorruption, OutOfMemory
 from ..heap.bootimage import BootImage
 from ..heap.objectmodel import ObjectModel, TypeDescriptor
 from ..heap.space import AddressSpace
-from ..heap.verify import HeapVerifier, VerifyReport
+from ..sanitizer.heapcheck import HeapVerifier, VerifyReport
 from .barrier import FrameBarrier
 from .belt import Belt, Increment
 from .collector import CollectionResult, Collector

@@ -17,7 +17,7 @@ from ..heap.allocator import BumpRegion
 from ..heap.bootimage import BootImage
 from ..heap.objectmodel import ObjectModel, TypeDescriptor
 from ..heap.space import AddressSpace
-from ..heap.verify import HeapVerifier, VerifyReport
+from ..sanitizer.heapcheck import HeapVerifier, VerifyReport
 from .ssb import BoundaryBarrier, SequentialStoreBuffer
 
 #: Arbitrary but stable collect-order stamps so the verifier recognises

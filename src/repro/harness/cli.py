@@ -58,6 +58,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p_run)
 
+    p_check = sub.add_parser(
+        "check",
+        help="run benchmarks under the sanitizer (shadow graph + "
+        "differential checker + invariant suite)",
+    )
+    p_check.add_argument(
+        "--benchmark", action="append", choices=BENCHMARK_NAMES, default=None,
+        metavar="NAME", help="benchmark to check (repeatable; default: all six)",
+    )
+    p_check.add_argument("--collector", default="25.25.100")
+    p_check.add_argument(
+        "--heap-kb", type=float, default=96.0,
+        help="heap size per run (default 96)",
+    )
+    p_check.add_argument(
+        "--fault", action="append", default=None, metavar="KIND[@NTH]",
+        help="arm a deterministic fault before the run (e.g. "
+        "barrier.drop-entry@3); repeatable",
+    )
+    _add_common(p_check)
+
     p_min = sub.add_parser("minheap", help="find the minimum heap size")
     p_min.add_argument("--benchmark", required=True, choices=BENCHMARK_NAMES)
     p_min.add_argument("--collector", default="gctk:Appel")
@@ -105,7 +126,8 @@ def _run_experiment(name: str, points: int, scale: float) -> bool:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list":
         print("benchmarks: " + ", ".join(BENCHMARK_NAMES))
         print("collectors: " + ", ".join(PAPER_CONFIGS))
@@ -142,6 +164,53 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"trace: {report.trace_events_written} events -> {args.trace}"
             )
         return 0 if report.completed else 1
+    if args.command == "check":
+        from ..sanitizer.faults import FAULT_KINDS, FaultSpec
+
+        faults = []
+        for text in args.fault or ():
+            kind, _, nth = text.partition("@")
+            if kind not in FAULT_KINDS:
+                parser.error(
+                    f"unknown fault kind {kind!r} "
+                    f"(choose from: {', '.join(FAULT_KINDS)})"
+                )
+            if nth and not nth.isdigit():
+                parser.error(f"fault occurrence must be an integer: {text!r}")
+            faults.append(FaultSpec(kind, nth=int(nth) if nth else None))
+        benchmarks = args.benchmark or list(BENCHMARK_NAMES)
+        ok = True
+        for name in benchmarks:
+            report = run(
+                name,
+                args.collector,
+                int(args.heap_kb * KB),
+                options=RunOptions(
+                    scale=args.scale,
+                    seed=args.seed,
+                    sanitize=True,
+                    faults=tuple(faults),
+                ),
+            )
+            sanitizer = report.sanitizer
+            status = "OK" if (report.completed and sanitizer.ok) else "FAIL"
+            print(
+                f"[{status}] {name}/{args.collector}: "
+                f"{sanitizer.collections_checked} collections checked, "
+                f"{sanitizer.objects_compared} objects compared, "
+                f"{len(sanitizer.violations)} violation(s)"
+            )
+            if not sanitizer.ok:
+                print("  " + "\n  ".join(str(v) for v in sanitizer.violations))
+            if not report.completed and sanitizer.ok:
+                print(f"  run failed: {report.stats.failure}")
+            if faults and not sanitizer.faults_injected:
+                print(
+                    "  note: armed fault(s) never fired on this "
+                    "workload/collector — nothing was sabotaged"
+                )
+            ok = ok and report.completed and sanitizer.ok
+        return 0 if ok else 1
     if args.command == "minheap":
         minimum = find_min_heap(
             args.benchmark, args.collector, scale=args.scale, seed=args.seed

@@ -78,6 +78,15 @@ class RunOptions:
     #: Extra telemetry sinks (anything with ``accept(event)``) to
     #: subscribe for the duration of the run.  Not closed by the harness.
     sinks: Tuple = ()
+    #: Attach the sanitizer (shadow graph + differential checker +
+    #: invariant suite, ``repro.sanitizer``) for the whole run.  The
+    #: first violation fails the run; the report lands in
+    #: ``RunReport.sanitizer``.
+    sanitize: bool = False
+    #: Fault specs (:class:`~repro.sanitizer.faults.FaultSpec`) to arm
+    #: before the run — deterministic collector sabotage for checker
+    #: validation.  Implies nothing by itself; combine with ``sanitize``.
+    faults: Tuple = ()
 
 
 @dataclass
@@ -95,6 +104,9 @@ class RunReport:
     events: Optional[List] = None
     #: Lines written to the ``trace`` JSONL sink (0 when not tracing).
     trace_events_written: int = 0
+    #: :class:`~repro.sanitizer.report.SanitizerReport` when
+    #: ``options.sanitize`` was set, else ``None``.
+    sanitizer: Optional[object] = None
 
     @property
     def completed(self) -> bool:
@@ -135,14 +147,27 @@ def run(
         debug_verify=options.verify,
         benchmark_name=bench.name,
     )
+    sanitizer = None
+    injector = None
+    if options.faults:
+        # Imported lazily so the plain path never touches the sanitizer.
+        from ..sanitizer.faults import arm_faults
+
+        injector = arm_faults(vm, options.faults)
+    if options.sanitize:
+        from ..sanitizer import attach_sanitizer
+
+        sanitizer = attach_sanitizer(vm)
+    # The sanitizer (and any faults) must be in place before the engine
+    # builds its MutatorContext — bound-method caches freeze the paths in.
     engine = SyntheticMutator(vm, bench, seed=options.seed)
 
     if not _wants_telemetry(options):
-        try:
-            stats = engine.run()
-        except OutOfMemory as error:
-            stats = vm.finish(completed=False, failure=str(error))
-        return RunReport(stats=stats)
+        stats = _execute(engine, vm, sanitizer)
+        return RunReport(
+            stats=stats,
+            sanitizer=_sanitizer_report(sanitizer, injector),
+        )
 
     bus = TelemetryBus()
     jsonl = ring = counter_sink = None
@@ -163,10 +188,7 @@ def run(
     )
     inst.begin(scale=options.scale, seed=options.seed)
     t0 = time.perf_counter()
-    try:
-        stats = engine.run()
-    except OutOfMemory as error:
-        stats = vm.finish(completed=False, failure=str(error))
+    stats = _execute(engine, vm, sanitizer)
     phases = inst.end(stats, total_wall_s=time.perf_counter() - t0)
     if jsonl is not None:
         jsonl.close()
@@ -176,7 +198,39 @@ def run(
         counters=counter_sink.snapshot() if counter_sink is not None else None,
         events=list(ring.events) if ring is not None else None,
         trace_events_written=jsonl.count if jsonl is not None else 0,
+        sanitizer=_sanitizer_report(sanitizer, injector),
     )
+
+
+def _sanitizer_report(sanitizer, injector):
+    """The run's SanitizerReport (None without ``sanitize``), with any
+    fault firings folded in so the report names what was sabotaged."""
+    if sanitizer is None:
+        return None
+    report = sanitizer.report
+    if injector is not None:
+        report.faults_injected.extend(injector.events)
+    return report
+
+
+def _execute(engine, vm, sanitizer) -> RunStats:
+    """Run the mutator; fold OOM and sanitizer violations into the stats."""
+    try:
+        stats = engine.run()
+        if sanitizer is not None:
+            sanitizer.check_now()
+        return stats
+    except OutOfMemory as error:
+        return vm.finish(completed=False, failure=str(error))
+    except _sanitizer_violation() as error:
+        return vm.finish(completed=False, failure=f"sanitizer: {error}")
+
+
+def _sanitizer_violation():
+    """The sanitizer's exception type, imported only when it can occur."""
+    from ..sanitizer.report import SanitizerViolation
+
+    return SanitizerViolation
 
 
 # ----------------------------------------------------------------------

@@ -32,7 +32,12 @@ from .objectmodel import (
     TypeRegistry,
 )
 from .space import AddressSpace
-from .verify import HeapVerifier, VerifyReport
+
+# HeapVerifier moved to repro.sanitizer.heapcheck (PR 4); re-exported here
+# for compatibility.  Import from the new home to keep the old
+# ``repro.heap.verify`` shim's DeprecationWarning out of plain
+# ``import repro``.
+from ..sanitizer.heapcheck import HeapVerifier, VerifyReport
 
 __all__ = [
     "AddressSpace",

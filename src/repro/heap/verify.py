@@ -1,96 +1,22 @@
-"""Heap verifier: exhaustively checks reachable-heap invariants.
+"""Deprecated shim: the heap verifier moved to ``repro.sanitizer.heapcheck``.
 
-Used by the test suite after every collection (and available in debug VMs)
-to catch collector bugs at their source rather than at some later crash:
-
-* every root and every reference slot holds NULL or the address of a live,
-  well-formed object;
-* no reachable object is left forwarded after a collection completes;
-* objects lie entirely within the ``used_words`` prefix of mapped frames;
-* type slots point at boot-image type objects.
+Importing this module keeps working but warns; new code should import
+:class:`~repro.sanitizer.heapcheck.HeapVerifier` (and friends) from the
+sanitizer package, where the verifier shares its frame-walk with the
+differential checker.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Set
+import warnings
 
-from ..errors import HeapCorruption
-from .address import WORD_BYTES
-from .frame import UNASSIGNED_ORDER
-from .objectmodel import FORWARDED_BIT, ObjectModel
-from .space import AddressSpace
+from ..sanitizer.heapcheck import HeapVerifier, VerifyReport
 
+__all__ = ["HeapVerifier", "VerifyReport"]
 
-@dataclass
-class VerifyReport:
-    """Summary of a successful verification pass."""
-
-    objects: int
-    words: int
-    ref_slots: int
-
-    @property
-    def live_bytes(self) -> int:
-        return self.words * WORD_BYTES
-
-
-class HeapVerifier:
-    """Breadth-first verification of everything reachable from the roots."""
-
-    def __init__(self, space: AddressSpace, model: ObjectModel):
-        self.space = space
-        self.model = model
-
-    def check_object(self, addr: int) -> int:
-        """Validate a single object header; returns its size in words."""
-        if addr % WORD_BYTES:
-            raise HeapCorruption(f"object address {addr:#x} misaligned")
-        if not self.space.is_mapped(addr):
-            raise HeapCorruption(f"object address {addr:#x} unmapped")
-        frame = self.space.frame_containing(addr)
-        if frame.collect_order == UNASSIGNED_ORDER:
-            raise HeapCorruption(
-                f"object {addr:#x} lives in unstamped frame {frame.index}"
-            )
-        status = self.model.status(addr)
-        if status & FORWARDED_BIT:
-            raise HeapCorruption(
-                f"object {addr:#x} is forwarded outside a collection"
-            )
-        size = self.model.size_words(addr)  # raises if the type is bogus
-        offset_words = (addr - self.space.frame_base(frame)) // WORD_BYTES
-        if offset_words + size > frame.used_words:
-            raise HeapCorruption(
-                f"object {addr:#x} ({size} words) overruns frame "
-                f"{frame.index} used prefix ({frame.used_words} words)"
-            )
-        return size
-
-    def verify(self, roots: Iterable[int]) -> VerifyReport:
-        """Walk the heap from ``roots``; raises :class:`HeapCorruption` on
-        the first violated invariant, otherwise reports live totals."""
-        visited: Set[int] = set()
-        queue = []
-        ref_slots = 0
-        for root in roots:
-            if root and root not in visited:
-                visited.add(root)
-                queue.append(root)
-        words = 0
-        model = self.model
-        while queue:
-            obj = queue.pop()
-            words += self.check_object(obj)
-            _, type_value, _, ref_values = model.scan_ref_slots(obj)
-            ref_slots += 1 + len(ref_values)
-            if type_value and type_value not in visited:
-                visited.add(type_value)
-                queue.append(type_value)
-            for target in ref_values:
-                if target == 0:
-                    continue
-                if target not in visited:
-                    visited.add(target)
-                    queue.append(target)
-        return VerifyReport(objects=len(visited), words=words, ref_slots=ref_slots)
+warnings.warn(
+    "repro.heap.verify moved to repro.sanitizer.heapcheck; "
+    "this shim will be removed in a future release",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -87,6 +87,10 @@ class Instrumentation:
         self._gc_seq = 0
         self._depth = 0
         self._entry_wall = 0.0
+        #: (obj, attr, original, was-instance-attr) per wrapped attribute,
+        #: in wrap order; :meth:`detach` unwinds it in reverse.
+        self._wrapped = []
+        self._detached = False
         self._wrap_collect_entries()
         self._wrap_acquire_frame()
         if profile:
@@ -97,12 +101,17 @@ class Instrumentation:
     # ------------------------------------------------------------------
     # Wrappers
     # ------------------------------------------------------------------
+    def _set_wrapper(self, obj, name: str, wrapper) -> None:
+        """Instance-patch ``obj.name``, remembering how to undo it."""
+        self._wrapped.append((obj, name, getattr(obj, name), name in vars(obj)))
+        setattr(obj, name, wrapper)
+
     def _wrap_collect_entries(self) -> None:
         plan = self.vm.plan
         for entry in _COLLECT_ENTRIES:
             inner = getattr(plan, entry, None)
             if inner is not None:
-                setattr(plan, entry, self._timed_entry(inner, entry))
+                self._set_wrapper(plan, entry, self._timed_entry(inner, entry))
 
     def _timed_entry(self, inner, entry_name: str):
         perf = time.perf_counter
@@ -153,7 +162,7 @@ class Instrumentation:
             })
             return frame
 
-        space.acquire_frame = acquire_frame
+        self._set_wrapper(space, "acquire_frame", acquire_frame)
 
     def _wrap_barrier(self) -> None:
         vm = self.vm
@@ -168,7 +177,7 @@ class Instrumentation:
             finally:
                 phases["barrier"] += perf() - t0
 
-        vm._write_ref_field = timed_write
+        self._set_wrapper(vm, "_write_ref_field", timed_write)
 
     def _wrap_verify(self) -> None:
         plan = self.vm.plan
@@ -183,7 +192,34 @@ class Instrumentation:
             finally:
                 phases["verify"] += perf() - t0
 
-        plan.verify = timed_verify
+        self._set_wrapper(plan, "verify", timed_verify)
+
+    # ------------------------------------------------------------------
+    # Detach: return the VM to the untouched-code path
+    # ------------------------------------------------------------------
+    def detach(self) -> None:
+        """Unwind every wrapper and listener this attachment installed.
+
+        After ``detach`` the VM executes structurally untouched code
+        again (the instance attributes added at attach time are removed,
+        not replaced), so fixed-seed counters from that point on are
+        bit-identical to a VM that was never attached.  Wrappers unwind
+        in reverse wrap order, so stacked attachments (telemetry over
+        sanitizer, profile over plain) nest correctly as long as they
+        detach LIFO.
+        """
+        if self._detached:
+            return
+        self._detached = True
+        while self._wrapped:
+            obj, name, original, was_instance = self._wrapped.pop()
+            if was_instance:
+                setattr(obj, name, original)
+            else:
+                delattr(obj, name)
+        listeners = self.vm.plan.collection_listeners
+        if self._on_collection in listeners:
+            listeners.remove(self._on_collection)
 
     # ------------------------------------------------------------------
     # Collection listener

@@ -24,6 +24,11 @@ class MutatorContext:
         self.vm = vm
         self.table = RootTable()
         vm.plan.register_roots(self.table.slots)
+        if vm.mutator_observer is not None:
+            # Sanitizer hook: lets the shadow graph mirror this table's
+            # acquire/release before the bound-method caches below freeze
+            # the unobserved paths in.
+            vm.mutator_observer.observe_mutator(self)
         # Bound-method caches for the store/read inner loops: every
         # benchmark operation funnels through these, so shave the
         # per-call attribute walks off the mutator fast paths.

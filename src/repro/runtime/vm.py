@@ -44,6 +44,13 @@ DEFAULT_BOOT_BALLAST_SLOTS = 1200
 class VM:
     """One simulated Java-like virtual machine instance."""
 
+    #: Set by ``repro.sanitizer.attach_sanitizer``: an object whose
+    #: ``observe_mutator(mu)`` is called by every new ``MutatorContext``
+    #: (the thin runtime hook the shadow graph needs to see roots).  A
+    #: class attribute so the unattached path pays one attribute load
+    #: and an ``is None`` test — no instance state, no call.
+    mutator_observer = None
+
     def __init__(
         self,
         heap_bytes: int,

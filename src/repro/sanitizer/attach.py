@@ -1,0 +1,210 @@
+"""``attach_sanitizer(vm)``: wire the oracle, checker and invariants up.
+
+Mirrors ``attach_tracer``: attaching builds a private
+:class:`~repro.obs.bus.TelemetryBus`, hooks standard VM instrumentation
+to it for ``gc.start`` / ``gc.end`` boundaries, and wraps the VM's
+mutator-facing operations (``alloc`` / ``write_ref`` / ``write_int`` and
+root-table acquire/release via the ``runtime.mutator`` observer hook) as
+instance attributes feeding the shadow graph.  A VM that was never
+attached executes untouched code — the golden-counter and
+interpreter-call-ratio gates pin that down, exactly as they do for
+telemetry (DESIGN §10/§11).
+
+Check cadence:
+
+* ``gc.start`` — remset completeness (every edge the imminent collection
+  needs is remembered), belt/increment ordering, reserve accounting;
+* ``gc.end`` — ordering and reserve again, then the differential walk
+  (object set, edges, payloads, forwarding coherence), whose clean
+  pairing becomes the shadow's post-collection address index;
+* :meth:`Sanitizer.check_now` — everything at once, on demand (the
+  harness runs it after the mutator finishes).
+
+With ``halt_on_violation`` (the default) the first violation raises
+:class:`~repro.sanitizer.report.SanitizerViolation` carrying the report,
+so a corrupted heap is caught at the boundary where it first became
+observable rather than at some later crash.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigError
+from ..obs import TelemetryBus, attach
+from .diff import DifferentialChecker
+from .heapcheck import RawHeapReader
+from .invariants import (
+    check_remset_completeness,
+    check_reserve,
+    check_structure,
+)
+from .report import SanitizerReport, SanitizerViolation, Violation
+from .shadow import ShadowGraph
+
+
+class Sanitizer:
+    """One VM's shadow graph, checkers, and mutator hooks."""
+
+    def __init__(self, vm, halt_on_violation: bool = True):
+        if getattr(vm.plan, "root_arrays", None):
+            raise ConfigError(
+                "attach_sanitizer must run before any mutator context is "
+                "created (the shadow graph has to see every root from the "
+                "start)"
+            )
+        self.vm = vm
+        self.halt_on_violation = halt_on_violation
+        self.report = SanitizerReport()
+        self.shadow = ShadowGraph()
+        self.reader = RawHeapReader(vm.space, vm.plan.model)
+        self.differ = DifferentialChecker(self.reader, self.shadow)
+        self._tables: List[tuple] = []
+        self._detached = False
+        # Collection boundaries arrive over a private bus, like the tracer.
+        self.bus = TelemetryBus()
+        self._inst = attach(vm, self.bus, snapshot_every=0)
+        self.bus.subscribe(self)
+        # Mutator events: instance-attribute wrapping, shadow after the
+        # real operation succeeded.
+        self._inner_alloc = vm.alloc
+        self._inner_write_ref = vm.write_ref
+        self._inner_write_int = vm.write_int
+        vm.alloc = self._alloc
+        vm.write_ref = self._write_ref
+        vm.write_int = self._write_int
+        vm.mutator_observer = self
+
+    # ------------------------------------------------------------------
+    # Mutator hooks
+    # ------------------------------------------------------------------
+    def _alloc(self, desc, length: int = 0) -> int:
+        addr = self._inner_alloc(desc, length)
+        error = self.shadow.on_alloc(addr, desc, length)
+        if error:
+            self._flag("shadow", error, addr)
+        return addr
+
+    def _write_ref(self, obj: int, index: int, value: int) -> None:
+        self._inner_write_ref(obj, index, value)
+        error = self.shadow.on_write_ref(obj, index, value)
+        if error:
+            self._flag("shadow", error, obj)
+
+    def _write_int(self, obj: int, index: int, value: int) -> None:
+        self._inner_write_int(obj, index, value)
+        error = self.shadow.on_write_int(obj, index, value)
+        if error:
+            self._flag("shadow", error, obj)
+
+    def observe_mutator(self, mu) -> None:
+        """``runtime.mutator`` hook: mirror this context's root table.
+
+        Called by ``MutatorContext.__init__`` (before it caches bound
+        methods) whenever ``vm.mutator_observer`` is set.
+        """
+        table = mu.table
+        shadow = self.shadow
+        inner_acquire = table.acquire
+        inner_release = table.release
+
+        def acquire(addr):
+            handle = inner_acquire(addr)
+            error = shadow.on_acquire(table, handle._index, addr)
+            if error:
+                self._flag("shadow", error, addr)
+            return handle
+
+        def release(index):
+            inner_release(index)
+            shadow.on_release(table, index)
+
+        table.acquire = acquire
+        table.release = release
+        self._tables.append((table, inner_acquire, inner_release))
+
+    # ------------------------------------------------------------------
+    # Bus subscriber: collection boundaries
+    # ------------------------------------------------------------------
+    def accept(self, event) -> None:
+        if event.kind == "gc.start":
+            self._boundary_check(
+                int(event.data.get("seq", -1)), completeness=True, diff=False
+            )
+        elif event.kind == "gc.end":
+            self.report.collections_checked += 1
+            self._boundary_check(
+                int(event.data.get("id", -1)), completeness=False, diff=True
+            )
+
+    def check_now(self) -> SanitizerReport:
+        """Run the full suite immediately (harness calls this at run end)."""
+        self._boundary_check(-1, completeness=True, diff=True)
+        return self.report
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+    def _boundary_check(
+        self, collection: int, completeness: bool, diff: bool
+    ) -> None:
+        plan = self.vm.plan
+        violations: List[Violation] = []
+        violations.extend(check_structure(plan, collection))
+        violations.extend(check_reserve(plan, collection))
+        if completeness:
+            found, edges = check_remset_completeness(
+                plan, self.reader, collection
+            )
+            violations.extend(found)
+            self.report.remset_edges_checked += edges
+        if diff and not violations:
+            found, by_addr = self.differ.check_and_remap(collection)
+            violations.extend(found)
+            if by_addr is not None:
+                self.shadow.rebind(by_addr)
+            self.report.objects_compared = self.differ.objects_compared
+            self.report.edges_compared = self.differ.edges_compared
+        self._record(violations)
+
+    def _flag(self, check: str, message: str, addr: int = 0) -> None:
+        self._record([Violation(
+            check=check,
+            message=message,
+            addr=addr,
+            frame=self.reader.frame_index(addr) if addr else -1,
+        )])
+
+    def _record(self, violations: List[Violation]) -> None:
+        if not violations:
+            return
+        for violation in violations:
+            self.report.record(violation)
+        if self.halt_on_violation:
+            raise SanitizerViolation(self.report, violations[0])
+
+    # ------------------------------------------------------------------
+    def detach(self) -> None:
+        """Return the VM to the untouched-code path."""
+        if self._detached:
+            return
+        self._detached = True
+        vm = self.vm
+        del vm.alloc, vm.write_ref, vm.write_int
+        vm.mutator_observer = None
+        for table, _inner_acquire, _inner_release in self._tables:
+            del table.acquire, table.release
+        self._tables.clear()
+        self.bus.unsubscribe(self)
+        self._inst.detach()
+
+
+def attach_sanitizer(
+    vm, halt_on_violation: bool = True
+) -> Sanitizer:
+    """Attach a :class:`Sanitizer` to ``vm`` and return it (public API).
+
+    Must be called before the first ``MutatorContext`` is created, and
+    after any faults are armed (:func:`repro.sanitizer.faults.arm_faults`).
+    """
+    return Sanitizer(vm, halt_on_violation=halt_on_violation)

@@ -1,0 +1,161 @@
+"""Differential checking: real heap vs. shadow graph, in lockstep.
+
+At every ``gc.end`` (and on demand) the checker walks the real heap from
+the root tables and the shadow graph from its mirrored root slots *in
+lockstep*: each step pairs a real address with the shadow node that must
+live there.  Along the way it checks
+
+* **object set** — every shadow-reachable object exists on the real heap,
+  exactly once (the pairing is a bijection: no aliasing, no duplicates);
+* **forwarding coherence** — no reachable object carries a forwarding
+  status and no reference points into an unmapped or unstamped frame
+  (stale pointers into evacuated frames die here);
+* **shape and payload** — type, length, null-ness of every reference
+  slot, and every scalar word match the oracle.
+
+A clean walk doubles as the address remap: collections move objects, so
+the pairing discovered here becomes the shadow's next ``by_addr`` index.
+All heap access goes through :class:`~repro.sanitizer.heapcheck.RawHeapReader`,
+so checking charges no simulated loads and perturbs nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .heapcheck import RawHeapReader
+from .report import Violation
+from .shadow import ShadowGraph, ShadowNode
+
+#: Stop piling up evidence after this many violations per check pass.
+MAX_VIOLATIONS = 25
+
+
+class DifferentialChecker:
+    """Pairs the real heap with the shadow graph and reports divergence."""
+
+    def __init__(self, reader: RawHeapReader, shadow: ShadowGraph):
+        self.reader = reader
+        self.shadow = shadow
+        self.objects_compared = 0
+        self.edges_compared = 0
+
+    def check_and_remap(
+        self, collection: int = -1
+    ) -> Tuple[List[Violation], Optional[Dict[int, ShadowNode]]]:
+        """Run one lockstep walk.
+
+        Returns ``(violations, by_addr)``; ``by_addr`` is the fresh
+        address index when the walk was clean, else ``None`` (a corrupt
+        pairing must not poison the oracle).
+        """
+        violations: List[Violation] = []
+        reader = self.reader
+
+        def flag(check: str, message: str, addr: int = 0) -> None:
+            violations.append(Violation(
+                check=check,
+                message=message,
+                addr=addr,
+                frame=reader.frame_index(addr) if addr else -1,
+                collection=collection,
+            ))
+
+        # Roots: every live table slot must agree on null-ness.
+        pairs: List[Tuple[int, ShadowNode]] = []
+        for table, real_slots, shadow_slots in self.shadow.root_pairs():
+            for index, addr in enumerate(real_slots):
+                node = shadow_slots.get(index)
+                if node is None:
+                    if addr:
+                        flag(
+                            "diff.roots",
+                            f"root slot {index} holds {addr:#x} but the "
+                            f"shadow has no object there",
+                            addr,
+                        )
+                    continue
+                if not addr:
+                    flag(
+                        "diff.roots",
+                        f"root slot {index} lost shadow object "
+                        f"#{node.serial} ({node.type_name})",
+                    )
+                    continue
+                pairs.append((addr, node))
+
+        by_addr: Dict[int, ShadowNode] = {}
+        located: Dict[int, int] = {}  # id(node) -> addr
+        queue = pairs
+        queue.reverse()  # pop() from the end == original order first
+        while queue:
+            if len(violations) >= MAX_VIOLATIONS:
+                return violations, None
+            addr, node = queue.pop()
+            seen = by_addr.get(addr)
+            if seen is not None:
+                if seen is not node:
+                    flag(
+                        "diff.alias",
+                        f"address {addr:#x} reached as both shadow object "
+                        f"#{seen.serial} and #{node.serial}",
+                        addr,
+                    )
+                continue
+            prev = located.get(id(node))
+            if prev is not None:
+                if prev != addr:
+                    flag(
+                        "diff.duplicate",
+                        f"shadow object #{node.serial} found at both "
+                        f"{prev:#x} and {addr:#x}",
+                        addr,
+                    )
+                continue
+            error = reader.check_object(addr)
+            if error:
+                flag("forwarding", error, addr)
+                continue
+            view = reader.view(addr)
+            by_addr[addr] = node
+            located[id(node)] = addr
+            self.objects_compared += 1
+            if view.desc.name != node.type_name or view.length != node.length:
+                flag(
+                    "diff.shape",
+                    f"object at {addr:#x} is {view.desc.name}[{view.length}]"
+                    f" but shadow #{node.serial} is "
+                    f"{node.type_name}[{node.length}]",
+                    addr,
+                )
+                continue
+            for index, (target, child) in enumerate(zip(view.refs, node.refs)):
+                self.edges_compared += 1
+                if (target == 0) != (child is None):
+                    flag(
+                        "diff.edge",
+                        f"ref slot {index} of {addr:#x} "
+                        f"(shadow #{node.serial}): heap holds "
+                        f"{target:#x}, shadow holds "
+                        + (f"#{child.serial}" if child else "null"),
+                        addr,
+                    )
+                    continue
+                if target:
+                    queue.append((target, child))
+            if view.scalars != tuple(node.scalars):
+                for index, (got, want) in enumerate(
+                    zip(view.scalars, node.scalars)
+                ):
+                    if got != want:
+                        flag(
+                            "diff.scalar",
+                            f"scalar slot {index} of {addr:#x} (shadow "
+                            f"#{node.serial}): heap holds {got}, shadow "
+                            f"holds {want}",
+                            addr,
+                        )
+                        break
+        if violations:
+            return violations, None
+        return violations, by_addr

@@ -1,0 +1,416 @@
+"""Deterministic fault injection: break the collectors on purpose.
+
+Every fault is an *attach-time* wrapper around a collection-critical seam
+(the same mechanism telemetry and the sanitizer use, DESIGN §10/§11): a
+VM whose faults were never armed executes untouched code, and ``disarm``
+restores every patched attribute.  Faults are deterministic and
+seed-addressable — a :class:`FaultSpec` names the fault kind and either
+the exact occurrence to break (``nth``) or a ``seed`` from which the
+occurrence is derived — so the same spec breaks the same store in every
+run, which is what makes "every registered fault is detected" a testable
+meta-property rather than a flaky one.
+
+Registered kinds (each provably detected by the differential checker or
+the invariant suite; see ``tests/sanitizer/test_fault_matrix.py``):
+
+``barrier.drop-entry``
+    The nth remembered-set insert (Beltway ``RememberedSets.insert``,
+    GCTk ``SequentialStoreBuffer.append``) is silently dropped —
+    detected by remset completeness.
+``remset.corrupt-slot``
+    The nth insert records a wrong slot address in the right frame pair —
+    detected by remset completeness (the real slot is uncovered).
+``copy.skip-forward``
+    After a collection's trace, one root slot is wound back to the
+    evacuated address — a skipped forward; detected as a stale pointer
+    by the differential walk (forwarding coherence).
+``order.stale-stamp``
+    From the nth restamp on, one frame's entry in the flat ``orders``
+    table the compiled barrier reads disagrees with its increment's
+    stamp — detected by the belt/increment ordering invariant (Beltway
+    only).
+``reserve.shrink``
+    From the nth query on, the plan under-reports its copy reserve —
+    detected by the copy-reserve accounting invariant (Beltway only).
+``scalar.corrupt``
+    After the nth collection, one reachable scalar payload word is
+    incremented — detected by the differential walk's payload compare.
+
+Faults must be armed *before* the sanitizer attaches (the sanitizer
+re-snapshots the write path) and before any mutator context is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import ConfigError
+from ..heap.objectmodel import HEADER_WORDS
+from .heapcheck import RawHeapReader
+
+FAULT_KINDS = (
+    "barrier.drop-entry",
+    "remset.corrupt-slot",
+    "copy.skip-forward",
+    "order.stale-stamp",
+    "reserve.shrink",
+    "scalar.corrupt",
+)
+
+#: Fault kinds that only make sense on a Beltway plan.
+BELTWAY_ONLY = ("order.stale-stamp", "reserve.shrink")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to arm: which seam, and which occurrence to break."""
+
+    kind: str
+    nth: Optional[int] = None  #: 1-based occurrence; None = derive from seed
+    seed: int = 0
+    param: int = 2  #: kind-specific magnitude (reserve.shrink frame count)
+
+    def resolved_nth(self) -> int:
+        """The occurrence this spec breaks (seed-addressable when ``nth``
+        is not given)."""
+        if self.nth is not None:
+            if self.nth < 1:
+                raise ConfigError(f"fault nth must be >= 1, got {self.nth}")
+            return self.nth
+        return 1 + (self.seed * 2654435761) % 7
+
+    def describe(self) -> str:
+        return f"{self.kind}@{self.resolved_nth()}"
+
+
+class FaultInjector:
+    """Armed faults on one VM; tracks firings and owns the undo list."""
+
+    def __init__(self, vm, specs: Sequence[FaultSpec]):
+        self.vm = vm
+        self.specs = list(specs)
+        self.events: List[str] = []  #: one entry per fault firing
+        self._undo: List[Callable[[], None]] = []
+        for spec in self.specs:
+            _ARMERS.get(spec.kind, _unknown_kind)(self, spec)
+
+    @property
+    def fired(self) -> bool:
+        return bool(self.events)
+
+    def disarm(self) -> None:
+        """Restore every patched attribute (LIFO, so stacked wrappers on
+        the same seam unwind correctly)."""
+        while self._undo:
+            self._undo.pop()()
+
+    # -- plumbing ------------------------------------------------------
+    def _patch(self, obj, name: str, wrapper) -> None:
+        """Instance-patch ``obj.name`` and register the exact inverse."""
+        had_instance_attr = name in vars(obj)
+        original = getattr(obj, name)
+        setattr(obj, name, wrapper)
+
+        def undo():
+            if had_instance_attr:
+                setattr(obj, name, original)
+            else:
+                delattr(obj, name)
+
+        self._undo.append(undo)
+
+
+def arm_faults(vm, specs: Sequence[FaultSpec]) -> FaultInjector:
+    """Arm ``specs`` on ``vm``; returns the injector (public API)."""
+    return FaultInjector(vm, specs)
+
+
+def _unknown_kind(injector: FaultInjector, spec: FaultSpec) -> None:
+    raise ConfigError(
+        f"unknown fault kind {spec.kind!r}; registered: "
+        + ", ".join(FAULT_KINDS)
+    )
+
+
+def _is_beltway(plan) -> bool:
+    return hasattr(plan, "belts")
+
+
+def _require_beltway(plan, spec: FaultSpec) -> None:
+    if not _is_beltway(plan):
+        raise ConfigError(
+            f"fault kind {spec.kind!r} requires a Beltway plan"
+        )
+
+
+def _recompile_write_paths(injector: FaultInjector, plan, vm) -> None:
+    """Re-bake the compiled store/init closures so they capture the
+    wrapped insert (the originals froze ``remsets.insert`` into their
+    namespace at construction — DESIGN §9)."""
+    injector._patch(
+        plan, "write_ref_field", plan.barrier.compile_write_field(plan.model)
+    )
+    injector._patch(
+        plan, "_init_object", plan.barrier.compile_init_object(plan.model)
+    )
+    injector._patch(vm, "_write_ref_field", plan.write_ref_field)
+
+
+# ----------------------------------------------------------------------
+# Remembered-set seams (core.barrier / core.remset / gctk.ssb)
+# ----------------------------------------------------------------------
+def _arm_insert_fault(injector: FaultInjector, spec: FaultSpec,
+                      corrupt: bool) -> None:
+    plan = injector.vm.plan
+    nth = spec.resolved_nth()
+    state = {"n": 0}
+    events = injector.events
+    if _is_beltway(plan):
+        remsets = plan.remsets
+        inner = remsets.insert
+
+        def insert(src, tgt, slot):
+            state["n"] += 1
+            if state["n"] == nth:
+                if corrupt:
+                    events.append(
+                        f"{spec.kind}: insert #{nth} pair ({src},{tgt}) "
+                        f"slot {slot:#x} corrupted to {slot ^ 8:#x}"
+                    )
+                    inner(src, tgt, slot ^ 8)
+                else:
+                    events.append(
+                        f"{spec.kind}: insert #{nth} pair ({src},{tgt}) "
+                        f"slot {slot:#x} dropped"
+                    )
+                return
+            inner(src, tgt, slot)
+
+        injector._patch(remsets, "insert", insert)
+    else:
+        ssb = plan.ssb
+        inner = ssb.append
+
+        def append(slot):
+            state["n"] += 1
+            if state["n"] == nth:
+                if corrupt:
+                    events.append(
+                        f"{spec.kind}: SSB append #{nth} slot {slot:#x} "
+                        f"corrupted to {slot ^ 8:#x}"
+                    )
+                    inner(slot ^ 8)
+                else:
+                    events.append(
+                        f"{spec.kind}: SSB append #{nth} slot {slot:#x} "
+                        f"dropped"
+                    )
+                return
+            inner(slot)
+
+        injector._patch(ssb, "append", append)
+    _recompile_write_paths(injector, plan, injector.vm)
+
+
+def _arm_drop_entry(injector: FaultInjector, spec: FaultSpec) -> None:
+    _arm_insert_fault(injector, spec, corrupt=False)
+
+
+def _arm_corrupt_slot(injector: FaultInjector, spec: FaultSpec) -> None:
+    _arm_insert_fault(injector, spec, corrupt=True)
+
+
+# ----------------------------------------------------------------------
+# Copy seams (core.collector / gctk.copying)
+# ----------------------------------------------------------------------
+def _post_collection_seam(injector: FaultInjector, apply) -> None:
+    """Run ``apply(collection_number)`` after each collection's trace but
+    *before* the collection listeners (and hence the checker) observe the
+    result — the window where a real collector bug would sit.
+
+    Beltway: ``plan.collector.collect`` returns before ``plan.collect``
+    fires listeners, so wrapping the collector is enough.  GCTk plans
+    fire listeners inside ``plan._emit``, so the seam is there instead.
+    """
+    plan = injector.vm.plan
+    state = {"n": 0}
+    if _is_beltway(plan):
+        collector = plan.collector
+        inner = collector.collect
+
+        def collect(batch, reason):
+            result = inner(batch, reason)
+            state["n"] += 1
+            apply(state["n"])
+            return result
+
+        injector._patch(collector, "collect", collect)
+    else:
+        inner = plan._emit
+
+        def _emit(result):
+            state["n"] += 1
+            apply(state["n"])
+            return inner(result)
+
+        injector._patch(plan, "_emit", _emit)
+
+
+def _arm_skip_forward(injector: FaultInjector, spec: FaultSpec) -> None:
+    """Wind one root slot back to its pre-collection (evacuated) address:
+    the observable effect of a forward the trace skipped."""
+    plan = injector.vm.plan
+    nth = spec.resolved_nth()
+    events = injector.events
+    snapshots = {"before": None}
+    state = {"fired": False}
+
+    def snapshot():
+        snapshots["before"] = [list(array) for array in plan.root_arrays]
+
+    # Take the pre-trace snapshot at every collection entry point (GCTk
+    # plans call minor/major directly from the allocator).
+    entered = {"depth": 0}
+    for entry in ("collect", "minor_collect", "major_collect"):
+        inner_entry = getattr(plan, entry, None)
+        if inner_entry is None:
+            continue
+
+        def make_entry(inner):
+            def wrapped(*args, **kwargs):
+                if entered["depth"]:
+                    return inner(*args, **kwargs)
+                entered["depth"] = 1
+                snapshot()
+                try:
+                    return inner(*args, **kwargs)
+                finally:
+                    entered["depth"] = 0
+
+            return wrapped
+
+        injector._patch(plan, entry, make_entry(inner_entry))
+
+    def apply(count):
+        if state["fired"] or count < nth:
+            return
+        before = snapshots["before"]
+        if before is None:
+            return
+        for array, old_slots in zip(plan.root_arrays, before):
+            for index, (old, new) in enumerate(zip(old_slots, array)):
+                if old and new != old:
+                    array[index] = old
+                    state["fired"] = True
+                    events.append(
+                        f"{spec.kind}: root slot {index} wound back from "
+                        f"{new:#x} to evacuated {old:#x} after "
+                        f"collection #{count}"
+                    )
+                    return
+
+    _post_collection_seam(injector, apply)
+
+
+def _arm_scalar_corrupt(injector: FaultInjector, spec: FaultSpec) -> None:
+    """Flip one reachable scalar payload word right after a collection —
+    the signature of a copy that lost data."""
+    vm = injector.vm
+    plan = vm.plan
+    nth = spec.resolved_nth()
+    events = injector.events
+    state = {"fired": False}
+    reader = RawHeapReader(vm.space, plan.model)
+
+    def apply(count):
+        if state["fired"] or count < nth:
+            return
+        order, error = reader.walk(
+            value for array in plan.root_arrays for value in array
+        )
+        if error:
+            return
+        for addr in order:
+            view = reader.view(addr)
+            if not view.scalars:
+                continue
+            frame = reader.frame_of(addr)
+            slot = ((addr >> 2) & reader.space._word_mask) + \
+                HEADER_WORDS + len(view.refs)
+            frame.words[slot] += 1
+            state["fired"] = True
+            events.append(
+                f"{spec.kind}: scalar word 0 of {addr:#x} bumped from "
+                f"{view.scalars[0]} after collection #{count}"
+            )
+            return
+
+    _post_collection_seam(injector, apply)
+
+
+# ----------------------------------------------------------------------
+# Order and reserve seams (core.order / core.reserve, Beltway only)
+# ----------------------------------------------------------------------
+def _arm_stale_stamp(injector: FaultInjector, spec: FaultSpec) -> None:
+    plan = injector.vm.plan
+    _require_beltway(plan, spec)
+    nth = spec.resolved_nth()
+    state = {"n": 0, "fired": False}
+    events = injector.events
+    inner = plan.restamp
+
+    def restamp():
+        inner()
+        state["n"] += 1
+        if state["n"] < nth:
+            return
+        for belt in plan.belts:
+            for inc in belt.increments:
+                for frame in inc.region.frames:
+                    plan.space.orders[frame.index] = inc.stamp + 1
+                    if not state["fired"]:
+                        state["fired"] = True
+                        events.append(
+                            f"{spec.kind}: orders[{frame.index}] bumped to "
+                            f"{inc.stamp + 1} (belt {belt.index} front "
+                            f"stamp {inc.stamp}) at restamp #{state['n']}"
+                        )
+                    return
+
+    injector._patch(plan, "restamp", restamp)
+
+
+def _arm_reserve_shrink(injector: FaultInjector, spec: FaultSpec) -> None:
+    plan = injector.vm.plan
+    _require_beltway(plan, spec)
+    nth = spec.resolved_nth()
+    shrink = max(1, spec.param)
+    state = {"n": 0, "fired": False}
+    events = injector.events
+    inner = plan.current_reserve_frames
+
+    def current_reserve_frames():
+        honest = inner()
+        state["n"] += 1
+        if state["n"] < nth or honest == 0:
+            return honest
+        if not state["fired"]:
+            state["fired"] = True
+            events.append(
+                f"{spec.kind}: reserve under-reported {honest} -> "
+                f"{max(0, honest - shrink)} from query #{state['n']}"
+            )
+        return max(0, honest - shrink)
+
+    injector._patch(plan, "current_reserve_frames", current_reserve_frames)
+
+
+_ARMERS = {
+    "barrier.drop-entry": _arm_drop_entry,
+    "remset.corrupt-slot": _arm_corrupt_slot,
+    "copy.skip-forward": _arm_skip_forward,
+    "order.stale-stamp": _arm_stale_stamp,
+    "reserve.shrink": _arm_reserve_shrink,
+    "scalar.corrupt": _arm_scalar_corrupt,
+}

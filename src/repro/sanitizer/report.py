@@ -1,0 +1,97 @@
+"""Sanitizer violations and the report that carries them.
+
+A :class:`Violation` pins a broken invariant to a check name, an address
+and a frame; a :class:`SanitizerReport` accumulates them along with how
+much checking actually ran (so "zero violations" is distinguishable from
+"never looked").  Reports serialise deterministically: two runs with the
+same seed and the same fault spec produce byte-identical ``to_dict()``
+output, which is what the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, located as precisely as the check allows."""
+
+    check: str  #: "diff", "remset-completeness", "forwarding", ...
+    message: str
+    addr: int = 0  #: offending object or slot address (0 = not applicable)
+    frame: int = -1  #: frame index of ``addr`` (-1 = not applicable)
+    collection: int = -1  #: collection sequence number when detected
+
+    def to_dict(self) -> Dict:
+        return {
+            "check": self.check,
+            "message": self.message,
+            "addr": self.addr,
+            "frame": self.frame,
+            "collection": self.collection,
+        }
+
+    def __str__(self) -> str:
+        where = f" @ {self.addr:#x} (frame {self.frame})" if self.addr else ""
+        return f"[{self.check}]{where} {self.message}"
+
+
+@dataclass
+class SanitizerReport:
+    """Everything a sanitized run learned, violations first."""
+
+    violations: List[Violation] = field(default_factory=list)
+    collections_checked: int = 0
+    objects_compared: int = 0
+    edges_compared: int = 0
+    remset_edges_checked: int = 0
+    faults_injected: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def record(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+            "collections_checked": self.collections_checked,
+            "objects_compared": self.objects_compared,
+            "edges_compared": self.edges_compared,
+            "remset_edges_checked": self.remset_edges_checked,
+            "faults_injected": list(self.faults_injected),
+        }
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"sanitizer OK: {self.collections_checked} collections "
+                f"checked, {self.objects_compared} objects compared"
+            )
+        lines = [
+            f"sanitizer FAILED: {len(self.violations)} violation(s) after "
+            f"{self.collections_checked} checked collection(s)"
+        ]
+        lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+class SanitizerViolation(ReproError):
+    """Raised at the first violation so a corrupted heap never runs on.
+
+    Carries the full :class:`SanitizerReport` accumulated so far.
+    """
+
+    def __init__(self, report: SanitizerReport, violation: Optional[Violation] = None):
+        self.report = report
+        self.violation = violation or (
+            report.violations[0] if report.violations else None
+        )
+        super().__init__(str(self.violation) if self.violation else report.summary())

@@ -1,0 +1,137 @@
+"""The shadow object graph: a pure-Python oracle of what must be live.
+
+The shadow mirrors every *mutator-visible* heap operation — allocation,
+reference stores, scalar stores, root acquisition and release — as plain
+Python objects holding plain Python references.  It is deliberately an
+**oracle, not a model**: it records what the mutator did and lets Python's
+own object graph define reachability; it knows nothing about belts,
+frames, copying or remsets, and it never reads collector state.  Whatever
+the collectors do to addresses, the shadow's answer to "which objects are
+live, how do they point at each other, and what scalar payloads do they
+hold" cannot drift — which is exactly what makes it a trustworthy side of
+a differential check.
+
+Addresses appear only as the ``by_addr`` index mapping the *current*
+address of each object to its shadow node.  Collections move objects, so
+the index is stale after every ``gc.end`` until the differential checker
+re-derives it by walking real roots and shadow roots in lockstep
+(:mod:`repro.sanitizer.diff`) — the remap *is* the check.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, List, Optional, Tuple
+
+
+class ShadowNode:
+    """One allocated object: type, payload, and outgoing references."""
+
+    __slots__ = ("serial", "type_name", "length", "refs", "scalars")
+
+    def __init__(self, serial: int, type_name: str, length: int,
+                 nrefs: int, nscalars: int):
+        self.serial = serial  #: allocation order, for stable reporting
+        self.type_name = type_name
+        self.length = length
+        self.refs: List[Optional["ShadowNode"]] = [None] * nrefs
+        self.scalars: List[int] = [0] * nscalars
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ShadowNode #{self.serial} {self.type_name}[{self.length}]>"
+
+
+class ShadowGraph:
+    """The oracle: shadow nodes plus the current address index.
+
+    All mutator hooks return an error string (``None`` = fine) instead of
+    raising, so the :class:`~repro.sanitizer.attach.Sanitizer` owns the
+    violation policy.
+    """
+
+    def __init__(self) -> None:
+        self.by_addr: Dict[int, ShadowNode] = {}
+        self._serial = count(1)
+        self.allocations = 0
+        #: table id -> (RootTable, {slot index -> node}); the live slots of
+        #: these tables are the shadow's roots.
+        self.tables: Dict[int, Tuple[object, Dict[int, ShadowNode]]] = {}
+
+    # -- mutator events ------------------------------------------------
+    def on_alloc(self, addr: int, desc, length: int) -> Optional[str]:
+        if addr in self.by_addr:
+            return (
+                f"allocation returned address {addr:#x} already occupied "
+                f"by shadow object #{self.by_addr[addr].serial}"
+            )
+        code = desc.ref_code
+        nrefs = length if code < 0 else code
+        code = desc.scalar_code
+        nscalars = length if code < 0 else code
+        self.by_addr[addr] = ShadowNode(
+            next(self._serial), desc.name, length, nrefs, nscalars
+        )
+        self.allocations += 1
+        return None
+
+    def on_write_ref(self, obj: int, index: int, value: int) -> Optional[str]:
+        node = self.by_addr.get(obj)
+        if node is None:
+            return f"reference store into unknown object {obj:#x}"
+        if value:
+            target = self.by_addr.get(value)
+            if target is None:
+                return f"reference store of unknown target {value:#x}"
+        else:
+            target = None
+        if not 0 <= index < len(node.refs):
+            return (
+                f"reference store slot {index} out of range for shadow "
+                f"object #{node.serial} ({node.type_name})"
+            )
+        node.refs[index] = target
+        return None
+
+    def on_write_int(self, obj: int, index: int, value: int) -> Optional[str]:
+        node = self.by_addr.get(obj)
+        if node is None:
+            return f"scalar store into unknown object {obj:#x}"
+        if not 0 <= index < len(node.scalars):
+            return (
+                f"scalar store slot {index} out of range for shadow "
+                f"object #{node.serial} ({node.type_name})"
+            )
+        node.scalars[index] = value
+        return None
+
+    # -- roots ---------------------------------------------------------
+    def on_acquire(self, table, slot: int, addr: int) -> Optional[str]:
+        slots = self.tables.setdefault(id(table), (table, {}))[1]
+        if addr:
+            node = self.by_addr.get(addr)
+            if node is None:
+                return f"root acquired for unknown object {addr:#x}"
+            slots[slot] = node
+        else:
+            slots.pop(slot, None)
+        return None
+
+    def on_release(self, table, slot: int) -> None:
+        entry = self.tables.get(id(table))
+        if entry is not None:
+            entry[1].pop(slot, None)
+
+    # -- checker support -----------------------------------------------
+    def root_pairs(self):
+        """Yield ``(table, real_slots, shadow_slots)`` per registered table."""
+        for table, shadow_slots in self.tables.values():
+            yield table, table.slots, shadow_slots
+
+    def rebind(self, by_addr: Dict[int, ShadowNode]) -> None:
+        """Adopt the post-collection address index derived by the checker.
+
+        Only objects the checker reached stay indexed; unreached shadow
+        nodes are unreachable in the oracle too, so no future mutator
+        event can name them.
+        """
+        self.by_addr = by_addr

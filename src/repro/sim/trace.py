@@ -64,6 +64,7 @@ class Tracer:
         # tracer itself only folds bus events down to TraceEvents.
         self._inst = attach(vm, self.bus, snapshot_every=snapshot_every)
         self.bus.subscribe(self)
+        self._detached = False
 
     # ------------------------------------------------------------------
     # Bus subscriber
@@ -83,6 +84,19 @@ class Tracer:
         """Record the current heap shape."""
         self._inst.snapshot_now()
         return self.events[-1]
+
+    def detach(self) -> None:
+        """Stop tracing and return the VM to the untouched-code path.
+
+        The recorded ``events`` stay readable; the VM's counters advance
+        bit-identically to a never-traced VM from here on.  Safe to call
+        more than once.
+        """
+        if self._detached:
+            return
+        self._detached = True
+        self._inst.detach()
+        self.bus.unsubscribe(self)
 
     # ------------------------------------------------------------------
     def collections(self) -> List[TraceEvent]:

@@ -1,0 +1,60 @@
+"""``beltway-bench check``: the sanitizer's CLI entry point."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+def test_check_clean_run_exits_zero(capsys):
+    code = main([
+        "check", "--benchmark", "jess", "--scale", "0.4", "--heap-kb", "96",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[OK] jess/25.25.100" in out
+    assert "collections checked" in out
+
+
+def test_check_armed_fault_exits_nonzero(capsys):
+    code = main([
+        "check", "--benchmark", "jess", "--scale", "0.4", "--heap-kb", "96",
+        "--fault", "copy.skip-forward@2",
+    ])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "[FAIL] jess/25.25.100" in out
+    assert "forwarding" in out
+
+
+def test_check_rejects_bad_fault_kind():
+    with pytest.raises(SystemExit):
+        main(["check", "--fault", "not-a-kind@x"])
+
+
+def test_check_default_covers_all_benchmarks(monkeypatch):
+    """Without --benchmark the subcommand sweeps all six specs."""
+    from repro.bench.spec import BENCHMARK_NAMES
+    from repro.harness import cli
+
+    seen = []
+
+    class _Report:
+        completed = True
+
+        class sanitizer:
+            ok = True
+            collections_checked = 1
+            objects_compared = 1
+            violations = ()
+
+        class stats:
+            failure = ""
+
+    def fake_run(name, collector, heap_bytes, options=None):
+        seen.append((name, collector, options.sanitize))
+        return _Report()
+
+    monkeypatch.setattr(cli, "run", fake_run)
+    assert cli.main(["check"]) == 0
+    assert [name for name, _, _ in seen] == list(BENCHMARK_NAMES)
+    assert all(sanitize for _, _, sanitize in seen)

@@ -1,0 +1,111 @@
+"""Attach → detach returns a VM to the untouched-code path.
+
+Both observers (the telemetry tracer and the sanitizer) advertise
+``detach()``; after it runs, the VM's counters must advance
+bit-identically to a VM that was never observed, and no instance-level
+wrapper may remain behind.
+"""
+
+from repro import VM, MutatorContext, attach_tracer
+from repro.sanitizer import attach_sanitizer
+
+
+def _build(collector="25.25.100"):
+    vm = VM(heap_bytes=32 * 1024, collector=collector)
+    node = vm.define_type("node", nrefs=1, nscalars=1)
+    return vm, node
+
+
+def _segment(vm, mu, node, start, count):
+    """A deterministic slice of mutator work (allocs, stores, scalars)."""
+    head = mu.alloc(node)
+    for i in range(start, start + count):
+        child = mu.alloc(node)
+        mu.write(child, 0, head)
+        mu.write_int(child, 0, i)
+        head = child
+    vm.collect("segment-end")
+    return head
+
+
+def test_tracer_detach_counters_bit_identical():
+    """Plain run vs attach-mid-run + detach-mid-run: identical RunStats."""
+    vm_a, node_a = _build()
+    mu_a = MutatorContext(vm_a)
+    for start in (0, 100, 200):
+        _segment(vm_a, mu_a, node_a, start, 80)
+    stats_a = vm_a.finish()
+
+    vm_b, node_b = _build()
+    mu_b = MutatorContext(vm_b)
+    _segment(vm_b, mu_b, node_b, 0, 80)
+    tracer = attach_tracer(vm_b, snapshot_every=1)
+    _segment(vm_b, mu_b, node_b, 100, 80)
+    tracer.detach()
+    _segment(vm_b, mu_b, node_b, 200, 80)
+    stats_b = vm_b.finish()
+
+    assert tracer.collections()  # it really observed the middle segment
+    assert stats_a == stats_b
+    # No wrapper left on the plan's entry points or the space.
+    assert "collect" not in vars(vm_b.plan)
+    assert "acquire_frame" not in vars(vm_b.space)
+    assert vm_b._on_collection in vm_b.plan.collection_listeners
+
+
+def test_tracer_detach_is_idempotent_and_keeps_events():
+    vm, node = _build()
+    mu = MutatorContext(vm)
+    tracer = attach_tracer(vm)
+    _segment(vm, mu, node, 0, 60)
+    events_before = list(tracer.events)
+    tracer.detach()
+    tracer.detach()  # second call must be a no-op
+    _segment(vm, mu, node, 100, 60)
+    assert tracer.events == events_before
+
+
+def test_sanitizer_detach_counters_bit_identical():
+    """Sanitized first half + detach + clean second half matches a run
+    that was never attached (same mutator-context structure)."""
+    vm_a, node_a = _build()
+    mu_a1 = MutatorContext(vm_a)
+    _segment(vm_a, mu_a1, node_a, 0, 80)
+    mu_a2 = MutatorContext(vm_a)
+    _segment(vm_a, mu_a2, node_a, 100, 80)
+    stats_a = vm_a.finish()
+
+    vm_b, node_b = _build()
+    sanitizer = attach_sanitizer(vm_b)
+    mu_b1 = MutatorContext(vm_b)
+    _segment(vm_b, mu_b1, node_b, 0, 80)
+    sanitizer.check_now()
+    sanitizer.detach()
+    mu_b2 = MutatorContext(vm_b)
+    _segment(vm_b, mu_b2, node_b, 100, 80)
+    stats_b = vm_b.finish()
+
+    assert sanitizer.report.ok
+    assert sanitizer.report.collections_checked > 0
+    assert stats_a == stats_b
+
+
+def test_sanitizer_detach_removes_every_wrapper():
+    vm, node = _build()
+    sanitizer = attach_sanitizer(vm)
+    mu = MutatorContext(vm)
+    _segment(vm, mu, node, 0, 40)
+
+    assert "alloc" in vars(vm)
+    assert "acquire" in vars(mu.table)
+    sanitizer.detach()
+    sanitizer.detach()  # idempotent
+    assert "alloc" not in vars(vm)
+    assert "write_ref" not in vars(vm)
+    assert "write_int" not in vars(vm)
+    assert "acquire" not in vars(mu.table)
+    assert "release" not in vars(mu.table)
+    assert vm.mutator_observer is None
+    # New mutator contexts are built on the clean path.
+    mu2 = MutatorContext(vm)
+    assert "acquire" not in vars(mu2.table)

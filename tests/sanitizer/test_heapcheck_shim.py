@@ -1,0 +1,39 @@
+"""The heap verifier moved into the sanitizer; the old import keeps working."""
+
+import importlib
+import sys
+import warnings
+
+
+def test_heap_verify_shim_warns_and_reexports():
+    sys.modules.pop("repro.heap.verify", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shim = importlib.import_module("repro.heap.verify")
+    assert any(
+        issubclass(w.category, DeprecationWarning)
+        and "repro.sanitizer.heapcheck" in str(w.message)
+        for w in caught
+    )
+    from repro.sanitizer.heapcheck import HeapVerifier, VerifyReport
+
+    assert shim.HeapVerifier is HeapVerifier
+    assert shim.VerifyReport is VerifyReport
+
+
+def test_heap_package_reexports_without_warning():
+    """``repro.heap`` itself now pulls the verifier from the sanitizer —
+    a fresh interpreter importing it must not trip the shim's warning."""
+    import os
+    import subprocess
+
+    env = dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path))
+    code = (
+        "import warnings; warnings.simplefilter('error', DeprecationWarning)\n"
+        "import repro.heap, repro.sanitizer.heapcheck as hc, sys\n"
+        "assert repro.heap.HeapVerifier is hc.HeapVerifier\n"
+        "assert 'repro.heap.verify' not in sys.modules\n"
+    )
+    subprocess.run(
+        [sys.executable, "-c", code], check=True, env=env, timeout=60
+    )

@@ -24,7 +24,7 @@ def test_every_module_imports():
     "package",
     ["repro", "repro.heap", "repro.core", "repro.analysis", "repro.sim",
      "repro.bench", "repro.runtime", "repro.gctk", "repro.obs",
-     "repro.harness"],
+     "repro.harness", "repro.sanitizer"],
 )
 def test_all_exports_resolve(package):
     module = importlib.import_module(package)
@@ -33,14 +33,15 @@ def test_all_exports_resolve(package):
 
 
 def test_version():
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 def test_stable_run_surface():
     """The consolidated public API: five entry points, importable flat."""
     for name in ("run", "run_many", "sweep", "find_min_heap",
                  "attach_tracer", "RunOptions", "RunReport",
-                 "TelemetryBus", "Tracer"):
+                 "TelemetryBus", "Tracer", "attach_sanitizer",
+                 "arm_faults", "FaultSpec"):
         assert name in repro.__all__
         assert callable(getattr(repro, name))
 
