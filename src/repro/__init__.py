@@ -73,8 +73,12 @@ from .obs import (
     CounterSink,
     Event,
     JsonlSink,
+    ProfileOptions,
+    ProfileReport,
+    Profiler,
     RingBufferSink,
     TelemetryBus,
+    attach_profiler,
     load_jsonl,
 )
 from .runtime.mutator import MutatorContext
@@ -91,7 +95,7 @@ from .sanitizer import (
 from .sim.stats import RunStats
 from .sim.trace import Tracer, attach_tracer
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # consolidated run API
@@ -110,6 +114,11 @@ __all__ = [
     "RingBufferSink",
     "CounterSink",
     "load_jsonl",
+    # profiler
+    "attach_profiler",
+    "Profiler",
+    "ProfileOptions",
+    "ProfileReport",
     # sanitizer
     "attach_sanitizer",
     "Sanitizer",

@@ -7,6 +7,15 @@ from .mmu import (
     mmu_curve,
     overall_utilisation,
 )
+from .profile import (
+    attribution_table,
+    geometry_heatmap,
+    mmu_table,
+    pause_table,
+    render_profile,
+    survival_by_label_table,
+    survival_table,
+)
 from .series import (
     GAP,
     best_value,
@@ -23,20 +32,27 @@ __all__ = [
     "MAX_RATIO",
     "PAPER_POINTS",
     "SweepResult",
+    "attribution_table",
     "best_value",
     "default_windows",
     "format_bytes",
     "geomean_across",
     "geometric_mean",
+    "geometry_heatmap",
     "heap_multipliers",
     "improvement_percent",
     "max_pause",
     "mmu",
     "mmu_curve",
+    "mmu_table",
     "overall_utilisation",
+    "pause_table",
     "relative_to_best",
     "render_mmu",
+    "render_profile",
     "render_series",
     "render_table",
+    "survival_by_label_table",
+    "survival_table",
     "sweep",
 ]

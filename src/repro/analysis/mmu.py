@@ -22,14 +22,19 @@ from typing import List, Sequence, Tuple
 Pause = Tuple[float, float]
 
 
-def _pause_time_in(
+def pause_time_in(
     starts: Sequence[float],
     ends: Sequence[float],
     prefix: Sequence[float],
     t0: float,
     t1: float,
 ) -> float:
-    """Total pause time inside [t0, t1), given sorted pauses + prefix sums."""
+    """Total pause time inside [t0, t1), given sorted pauses + prefix sums.
+
+    Public so the incremental MMU (:mod:`repro.obs.profiler.pauses`) can
+    evaluate window anchors with *exactly* this arithmetic — the
+    point-identity between streamed and post-hoc curves depends on both
+    sides sharing this function."""
     if t1 <= t0:
         return 0.0
     # Pauses overlapping [t0, t1) are exactly indices [i, j): any pause
@@ -46,6 +51,10 @@ def _pause_time_in(
     if j > 0 and ends[j - 1] > t1:
         total -= ends[j - 1] - t1
     return max(0.0, total)
+
+
+#: Backwards-compatible private alias (pre-profiler name).
+_pause_time_in = pause_time_in
 
 
 def mmu(pauses: Sequence[Pause], total_time: float, window: float) -> float:
@@ -69,7 +78,7 @@ def mmu(pauses: Sequence[Pause], total_time: float, window: float) -> float:
     best_util = 1.0
     for t0 in anchors:
         t0 = min(max(t0, 0.0), total_time - window)
-        paused = _pause_time_in(starts, ends, prefix, t0, t0 + window)
+        paused = pause_time_in(starts, ends, prefix, t0, t0 + window)
         util = 1.0 - paused / window
         if util < best_util:
             best_util = util

@@ -10,6 +10,12 @@ Examples
     beltway-bench experiment figure9 --points 9
     beltway-bench all --points 7
     beltway-bench experiment figure9 --full        # the paper's 33 points
+    beltway-bench profile --benchmark jess --heap-kb 48 --output jess.md
+
+Exit codes (consistent across subcommands): ``0`` success; ``1``
+failure — a run that did not complete, a sanitizer violation, a failed
+shape check, or an output artefact that could not be written; ``2``
+usage errors (argparse).
 """
 
 from __future__ import annotations
@@ -78,6 +84,28 @@ def build_parser() -> argparse.ArgumentParser:
         "barrier.drop-entry@3); repeatable",
     )
     _add_common(p_check)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="profile one run (lifetime demographics, pause analytics, "
+        "heap geometry, cost attribution) and write the report",
+    )
+    p_prof.add_argument("--benchmark", required=True, choices=BENCHMARK_NAMES)
+    p_prof.add_argument("--collector", default="25.25.100")
+    p_prof.add_argument("--heap-kb", type=float, required=True)
+    p_prof.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the markdown report here (default: stdout)",
+    )
+    p_prof.add_argument(
+        "--json", metavar="PATH", default=None, dest="json_path",
+        help="also write the full ProfileReport as JSON",
+    )
+    p_prof.add_argument(
+        "--snapshot-every", type=int, default=1, metavar="N",
+        help="heap-geometry sample every N collections (0: boundaries only)",
+    )
+    _add_common(p_prof)
 
     p_min = sub.add_parser("minheap", help="find the minimum heap size")
     p_min.add_argument("--benchmark", required=True, choices=BENCHMARK_NAMES)
@@ -164,6 +192,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"trace: {report.trace_events_written} events -> {args.trace}"
             )
         return 0 if report.completed else 1
+    if args.command == "profile":
+        report = run(
+            args.benchmark,
+            args.collector,
+            int(args.heap_kb * KB),
+            options=RunOptions(
+                scale=args.scale,
+                seed=args.seed,
+                profile="full",
+                snapshot_every=args.snapshot_every,
+            ),
+        )
+        profile = report.profile
+        markdown = profile.to_markdown()
+        try:
+            if args.output:
+                with open(args.output, "w", encoding="utf-8") as stream:
+                    stream.write(markdown)
+                print(f"profile report -> {args.output}")
+            else:
+                print(markdown, end="")
+            if args.json_path:
+                with open(args.json_path, "w", encoding="utf-8") as stream:
+                    stream.write(profile.to_json())
+                print(f"profile JSON -> {args.json_path}")
+        except OSError as error:
+            print(f"error: cannot write profile report: {error}", file=sys.stderr)
+            return 1
+        return 0 if report.completed else 1
     if args.command == "check":
         from ..sanitizer.faults import FAULT_KINDS, FaultSpec
 
@@ -230,9 +287,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         from .report import write_report
 
-        results = write_report(
-            Path(args.output), points=points, scale=args.scale, names=args.only
-        )
+        try:
+            results = write_report(
+                Path(args.output), points=points, scale=args.scale,
+                names=args.only,
+            )
+        except OSError as error:
+            print(f"error: cannot write report: {error}", file=sys.stderr)
+            return 1
         failed = [n for n, r in results.items() if not r.all_checks_pass]
         print(f"wrote {args.output} ({len(results)} experiments)")
         if failed:

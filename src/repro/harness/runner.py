@@ -32,7 +32,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from ..bench.engine import SyntheticMutator
 from ..bench.spec import get_spec
 from ..core.config import BeltwayConfig
-from ..errors import OutOfMemory
+from ..errors import ConfigError, OutOfMemory
 from ..obs import CounterSink, JsonlSink, RingBufferSink, TelemetryBus, attach
 from ..runtime.vm import EXPERIMENT_FRAME_SHIFT, VM
 from ..sim.stats import RunStats
@@ -61,9 +61,14 @@ class RunOptions:
     seed: int = 13
     #: Run the heap verifier after every collection (slow; debugging).
     verify: bool = False
-    #: Measure a wall-time phase breakdown (wraps the store path — adds
-    #: per-store overhead, so only the *split* is meaningful).
-    profile: bool = False
+    #: ``False`` (default): no profiling.  ``True``: legacy host
+    #: wall-time phase breakdown only (wraps the store path — adds
+    #: per-store overhead, so only the *split* is meaningful).  ``"full"``
+    #: or a :class:`~repro.obs.profiler.ProfileOptions`: additionally
+    #: attach the GC profiler (lifetime demographics, streaming pause
+    #: analytics, heap-geometry timeline, cost attribution) and fill
+    #: ``RunReport.profile`` with its :class:`ProfileReport`.
+    profile: Union[bool, str, object] = False
     #: Write telemetry events as JSON lines to this path or text stream.
     trace: Optional[object] = None
     #: Emit a ``heap.snapshot`` event after every Nth collection
@@ -107,6 +112,10 @@ class RunReport:
     #: :class:`~repro.sanitizer.report.SanitizerReport` when
     #: ``options.sanitize`` was set, else ``None``.
     sanitizer: Optional[object] = None
+    #: :class:`~repro.obs.profiler.ProfileReport` when ``options.profile``
+    #: requested the full profiler (``"full"`` / ProfileOptions), else
+    #: ``None``.
+    profile: Optional[object] = None
 
     @property
     def completed(self) -> bool:
@@ -120,6 +129,30 @@ def _wants_telemetry(options: RunOptions) -> bool:
         or options.ring_buffer is not None
         or options.counters
         or options.sinks
+    )
+
+
+def _profile_options(options: RunOptions):
+    """Coerce ``RunOptions.profile`` into a ProfileOptions-or-None.
+
+    ``False`` and ``True`` keep their legacy meanings (no profiler;
+    ``True`` still measures the host wall-time phase split).  ``"full"``
+    means profiler defaults; a :class:`~repro.obs.profiler.ProfileOptions`
+    instance is used as-is.  Anything else is a :class:`ConfigError`.
+    """
+    value = options.profile
+    if value is False or value is True:
+        return None
+    # Imported lazily so the plain path never touches the profiler.
+    from ..obs.profiler import ProfileOptions
+
+    if value == "full":
+        return ProfileOptions()
+    if isinstance(value, ProfileOptions):
+        return value
+    raise ConfigError(
+        f"RunOptions.profile must be False, True, 'full' or a "
+        f"ProfileOptions, got {value!r}"
     )
 
 
@@ -139,6 +172,7 @@ def run(
     instrumentation-free and ``RunReport.stats`` is all that is filled.
     """
     options = options or RunOptions()
+    profile_opts = _profile_options(options)  # validate before building a VM
     bench = get_spec(spec, options.scale)
     vm = VM(
         heap_bytes,
@@ -184,12 +218,22 @@ def run(
     inst = attach(
         vm, bus,
         snapshot_every=options.snapshot_every,
-        profile=options.profile,
+        profile=bool(options.profile),
     )
+    profiler = None
+    if profile_opts is not None:
+        from ..obs.profiler import Profiler
+
+        # Shares the harness bus (one instrumentation feeds every sink);
+        # attached before run.start so the profiler sees the identity.
+        profiler = Profiler(vm, options=profile_opts, bus=bus)
     inst.begin(scale=options.scale, seed=options.seed)
     t0 = time.perf_counter()
     stats = _execute(engine, vm, sanitizer)
     phases = inst.end(stats, total_wall_s=time.perf_counter() - t0)
+    profile_report = (
+        profiler.finalise(stats) if profiler is not None else None
+    )
     if jsonl is not None:
         jsonl.close()
     return RunReport(
@@ -199,6 +243,7 @@ def run(
         events=list(ring.events) if ring is not None else None,
         trace_events_written=jsonl.count if jsonl is not None else 0,
         sanitizer=_sanitizer_report(sanitizer, injector),
+        profile=profile_report,
     )
 
 

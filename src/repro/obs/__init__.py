@@ -33,6 +33,12 @@ from .events import (
 )
 from .instrument import Instrumentation, attach
 from .sinks import CounterSink, JsonlSink, RingBufferSink, load_jsonl
+from .profiler import (
+    ProfileOptions,
+    ProfileReport,
+    Profiler,
+    attach_profiler,
+)
 
 __all__ = [
     "CounterSink",
@@ -40,10 +46,14 @@ __all__ = [
     "Event",
     "Instrumentation",
     "JsonlSink",
+    "ProfileOptions",
+    "ProfileReport",
+    "Profiler",
     "RingBufferSink",
     "SchemaError",
     "TelemetryBus",
     "attach",
+    "attach_profiler",
     "load_jsonl",
     "pauses_from_events",
     "validate_event",

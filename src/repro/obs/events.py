@@ -95,7 +95,44 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "name": (str,),
         "wall_s": _NUM,
     },
+    # Profiler: per-(label, increment) survivor accounting of one
+    # collection (emitted by ``repro.obs.profiler`` when attached with
+    # event emission on).  ``label`` is the belt/space name ("belt0",
+    # "nursery", ...); ``increment`` is the Beltway increment id (-1 for
+    # non-Beltway spaces).
+    "profiler.survival": {
+        "collection": _NUM,
+        "label": (str,),
+        "increment": _NUM,
+        "survived_objects": _NUM,
+        "survived_bytes": _NUM,
+        "died_objects": _NUM,
+        "died_bytes": _NUM,
+        "survivor_fraction": _NUM,
+    },
+    # Profiler: one heap-geometry sample — per-label [frames, words]
+    # occupancy at a collection boundary or periodic snapshot.
+    "profiler.geometry": {
+        "sample": _NUM,
+        "trigger": (str,),
+        "frames_in_use": _NUM,
+        "frames_total": _NUM,
+        "occupancy": (dict,),
+    },
 }
+
+#: Optional enrichment keys on ``gc.end`` (extra keys are always allowed;
+#: these are the ones the instrumentation layer now publishes so the
+#: profiler's cost attribution can decompose each pause without reaching
+#: into VM internals).  Not required: older traces and synthetic fixtures
+#: stay schema-valid.
+GC_END_ENRICHMENT = (
+    "scanned_objects",
+    "scanned_ref_slots",
+    "root_slots",
+    "boot_slots_scanned",
+    "from_words",
+)
 
 
 class SchemaError(ValueError):

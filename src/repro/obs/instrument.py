@@ -250,6 +250,14 @@ class Instrumentation:
             "freed_frames": result.freed_frames,
             "remset_slots": result.remset_slots,
             "full_heap": result.was_full_heap,
+            # Enrichment keys (optional per schema; see GC_END_ENRICHMENT):
+            # the work counters the profiler's cost attribution decomposes
+            # each pause into, exactly mirroring CostModel.collection_cost.
+            "from_words": result.from_words,
+            "scanned_objects": result.scanned_objects,
+            "scanned_ref_slots": result.scanned_ref_slots,
+            "root_slots": result.root_slots,
+            "boot_slots_scanned": result.boot_slots_scanned,
             "pause_start": pause_start,
             "pause_end": pause_end,
             "pause_cycles": pause_end - pause_start,

@@ -1,0 +1,49 @@
+"""repro.obs.profiler — the GC profiler on top of the telemetry bus.
+
+Lifetime demographics (birth-stamped allocation accounting, survival
+curves by age in bytes allocated, per-belt survivor fractions), streaming
+pause analytics (exact percentile sketch, incrementally computed MMU
+curves, worst-window identification), heap-geometry timelines and exact
+per-collection cost attribution — attached to a VM only at
+``attach_profiler`` time, so an unprofiled run executes untouched code.
+
+Typical use through the harness::
+
+    report = repro.run("jess", "25.25.100", 48 * 1024,
+                       options=repro.RunOptions(profile="full"))
+    print(report.profile.to_markdown())
+
+or standalone on a hand-built VM::
+
+    from repro.obs.profiler import attach_profiler
+
+    profiler = attach_profiler(vm)
+    ...  # run the workload
+    print(profiler.finalise(vm.finish()).to_json())
+"""
+
+from .attach import Profiler, attach_profiler
+from .attribution import CostAttribution
+from .demographics import CollectionTally, LifetimeCensus
+from .geometry import GeometryTimeline
+from .pauses import (
+    DEFAULT_STREAM_WINDOWS,
+    IncrementalMMU,
+    StreamingPercentiles,
+)
+from .report import ProfileOptions, ProfileReport, aggregate_by_label
+
+__all__ = [
+    "CollectionTally",
+    "CostAttribution",
+    "DEFAULT_STREAM_WINDOWS",
+    "GeometryTimeline",
+    "IncrementalMMU",
+    "LifetimeCensus",
+    "ProfileOptions",
+    "ProfileReport",
+    "Profiler",
+    "StreamingPercentiles",
+    "aggregate_by_label",
+    "attach_profiler",
+]

@@ -1,0 +1,242 @@
+"""Streaming pause analytics: percentile sketch and incremental MMU.
+
+Both structures consume the pause timeline *as it happens* (one
+``add(...)`` per ``gc.end`` event) instead of post-processing
+``RunStats.pause_intervals()`` after the run, and both are required to be
+**point-identical** to the post-hoc analysis layer:
+
+* :class:`StreamingPercentiles` keeps an insertion-sorted duration list,
+  so its nearest-rank percentiles are, by construction, the same floats
+  :func:`repro.analysis.pauses.percentile` computes on the sorted
+  post-hoc durations;
+* :class:`IncrementalMMU` maintains the sorted pause arrays + prefix sums
+  of :func:`repro.analysis.mmu.mmu` incrementally and evaluates window
+  anchors *eagerly*: an anchor ``t0`` of window ``w`` is scored the
+  moment the stream time passes ``t0 + w``, which is safe because pauses
+  arrive in non-decreasing time order — no later pause can intersect
+  ``[t0, t0 + w)``.  Anchors that never mature (and the run-boundary
+  anchors, which need the final run length) are completed in
+  :meth:`IncrementalMMU.finalise`.
+
+The point-identity is pinned by tests against ``analysis.mmu.mmu_curve``
+and ``analysis.mmu.mmu_curve_from_events`` on all six benchmark specs.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...analysis.mmu import pause_time_in
+from ...analysis.pauses import percentile
+
+#: Default window ladder (cycles) evaluated *during* the stream: geometric
+#: steps of 4x from about 1e3 to 1e9 cycles, bracketing every scaled
+#: workload's pauses and run lengths.  Windows longer than the run are
+#: completed at finalise time (they clamp to the run length, which is not
+#: known while streaming).
+DEFAULT_STREAM_WINDOWS: Tuple[float, ...] = tuple(
+    float(4 ** k) for k in range(5, 16)
+)
+
+
+class StreamingPercentiles:
+    """Exact streaming percentiles over pause durations.
+
+    An insertion-sorted list (O(n) insert, exact answers) rather than an
+    approximate sketch: runs here have at most a few thousand pauses, and
+    the acceptance criterion is *equality* with the post-hoc
+    nearest-rank percentiles, which an approximate sketch cannot honour.
+    """
+
+    def __init__(self) -> None:
+        self._sorted: List[float] = []
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, duration: float) -> None:
+        insort(self._sorted, duration)
+        self.count += 1
+        self.total += duration
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, identical to ``analysis.pauses``."""
+        return percentile(self._sorted, q)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._sorted[-1] if self._sorted else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """The same fields as :class:`repro.analysis.pauses.PauseSummary`."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "max": self.max,
+        }
+
+
+class _WindowState:
+    """Running minimum + pending anchors for one streamed window length."""
+
+    __slots__ = ("window", "best_util", "worst_t0", "worst_paused", "pending")
+
+    def __init__(self, window: float):
+        self.window = window
+        self.best_util = 1.0
+        self.worst_t0: Optional[float] = None
+        self.worst_paused = 0.0
+        self.pending: deque = deque()
+
+
+class IncrementalMMU:
+    """Bounded-mutator-utilisation curves maintained during the stream.
+
+    ``add_pause`` appends to the same sorted ``starts``/``ends``/prefix
+    structure the post-hoc :func:`repro.analysis.mmu.mmu` builds (pauses
+    arrive in time order from the simulated clock, so appending *is*
+    sorted insertion, and the prefix sums accumulate in the same order —
+    the floats are bit-identical).  Each registered window keeps a running
+    minimum over matured anchors; :meth:`finalise` completes the pending
+    and boundary anchors and returns the curve.  :meth:`mmu_at` evaluates
+    any window post-hoc from the maintained arrays with exactly the
+    anchor set and arithmetic of ``analysis.mmu.mmu``.
+    """
+
+    def __init__(self, windows: Sequence[float] = DEFAULT_STREAM_WINDOWS):
+        self._starts: List[float] = []
+        self._ends: List[float] = []
+        self._prefix: List[float] = [0.0]
+        self._states: List[_WindowState] = [
+            _WindowState(float(w)) for w in sorted(set(windows))
+        ]
+        self._now = 0.0
+        self._finalised: Optional[List[Tuple[float, float]]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def pause_count(self) -> int:
+        return len(self._starts)
+
+    def add_pause(self, start: float, end: float) -> None:
+        """Record one pause; evaluate every anchor this pause matured."""
+        if start < self._now:
+            raise ValueError(
+                f"pauses must arrive in time order (got start={start} "
+                f"after t={self._now})"
+            )
+        self._starts.append(start)
+        self._ends.append(end)
+        self._prefix.append(self._prefix[-1] + (end - start))
+        self._now = end
+        for state in self._states:
+            w = state.window
+            state.pending.append(start)
+            state.pending.append(end - w)
+            self._drain_matured(state)
+
+    def _drain_matured(self, state: _WindowState) -> None:
+        """Score pending anchors whose window is fully in the past."""
+        w = state.window
+        now = self._now
+        pending = state.pending
+        kept = deque()
+        while pending:
+            anchor = pending.popleft()
+            t0 = max(anchor, 0.0)
+            if t0 + w <= now:
+                self._score(state, t0)
+            else:
+                kept.append(anchor)
+        state.pending = kept
+
+    def _score(self, state: _WindowState, t0: float) -> None:
+        w = state.window
+        paused = pause_time_in(self._starts, self._ends, self._prefix, t0, t0 + w)
+        util = 1.0 - paused / w
+        if util < state.best_util:
+            state.best_util = util
+            state.worst_t0 = t0
+            state.worst_paused = paused
+
+    # ------------------------------------------------------------------
+    def mmu_at(self, window: float, total_time: float) -> float:
+        """MMU of one window length — the exact ``analysis.mmu.mmu``
+        computation over the incrementally maintained pause arrays."""
+        if total_time <= 0:
+            return 1.0
+        window = min(window, total_time)
+        if window <= 0:
+            return 0.0 if self._starts else 1.0
+        starts, ends, prefix = self._starts, self._ends, self._prefix
+        anchors = [0.0, total_time - window]
+        anchors.extend(starts)
+        anchors.extend(e - window for e in ends)
+        best_util = 1.0
+        for t0 in anchors:
+            t0 = min(max(t0, 0.0), total_time - window)
+            paused = pause_time_in(starts, ends, prefix, t0, t0 + window)
+            util = 1.0 - paused / window
+            if util < best_util:
+                best_util = util
+        return max(0.0, best_util)
+
+    def curve(
+        self, windows: Sequence[float], total_time: float
+    ) -> List[Tuple[float, float]]:
+        """(window, MMU) points for arbitrary window lengths."""
+        return [(w, self.mmu_at(w, total_time)) for w in windows]
+
+    # ------------------------------------------------------------------
+    def finalise(self, total_time: float) -> List[Tuple[float, float]]:
+        """Complete every streamed window and return the (w, mmu) ladder.
+
+        Windows no shorter than the run (their effective length clamps to
+        ``total_time``, unknown while streaming) and the two run-boundary
+        anchors are evaluated post-hoc via :meth:`mmu_at`; for windows the
+        stream fully matured this merges the eager minimum with the
+        clamped leftovers — the result equals ``mmu_at`` on every window
+        (pinned by tests), the eager path just did the work early.
+        """
+        out: List[Tuple[float, float]] = []
+        for state in self._states:
+            w = state.window
+            if total_time <= 0 or w >= total_time or w <= 0:
+                out.append((w, self.mmu_at(w, total_time)))
+                continue
+            for anchor in (0.0, total_time - w, *state.pending):
+                t0 = min(max(anchor, 0.0), total_time - w)
+                self._score(state, t0)
+            state.pending.clear()
+            out.append((w, max(0.0, state.best_util)))
+        self._finalised = out
+        return out
+
+    def worst_windows(self, total_time: float) -> List[Dict[str, float]]:
+        """Per streamed window: where the minimum-utilisation window sits.
+
+        Call after :meth:`finalise`.  ``start`` is the anchor of the
+        worst window, ``paused`` the GC time packed into it — the
+        worst-window identification the post-hoc analysis cannot give
+        without re-scanning every anchor.
+        """
+        rows = []
+        for state in self._states:
+            if state.worst_t0 is None:
+                continue
+            rows.append({
+                "window": state.window,
+                "utilisation": max(0.0, state.best_util),
+                "start": state.worst_t0,
+                "paused": state.worst_paused,
+            })
+        return rows

@@ -64,15 +64,28 @@ def load_jsonl(source: Union[str, Path, IO[str]]) -> List[dict]:
 
 
 class RingBufferSink:
-    """Keep the most recent ``capacity`` events (all of them if None)."""
+    """Keep the most recent ``capacity`` events (all of them if None).
+
+    Overflow semantics are oldest-dropped: once ``capacity`` events are
+    buffered, each further ``accept`` silently evicts the oldest event
+    before appending the new one (the buffer always holds the most recent
+    ``capacity`` events, never blocks, never raises).  ``dropped`` counts
+    evictions so far and ``accepted`` counts every event ever offered, so
+    ``accepted == len(sink) + sink.dropped`` holds at all times.
+    """
 
     def __init__(self, capacity: Optional[int] = None):
         if capacity is not None and capacity <= 0:
             raise ValueError(f"ring buffer capacity must be positive, got {capacity}")
         self._buffer: deque = deque(maxlen=capacity)
         self.accepted = 0
+        #: Events evicted to make room (oldest-dropped overflow count).
+        self.dropped = 0
 
     def accept(self, event: Event) -> None:
+        maxlen = self._buffer.maxlen
+        if maxlen is not None and len(self._buffer) == maxlen:
+            self.dropped += 1
         self._buffer.append(event)
         self.accepted += 1
 

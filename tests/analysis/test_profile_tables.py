@@ -1,0 +1,66 @@
+"""Analysis tables regenerated from a ProfileReport (or its JSON dict).
+
+The report is self-contained: every table must render identically from
+the live object and from its JSON round trip, with no re-run.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.profile import (
+    attribution_table,
+    geometry_heatmap,
+    mmu_table,
+    pause_table,
+    render_profile,
+    survival_by_label_table,
+    survival_table,
+)
+from repro.harness.runner import RunOptions, run
+
+
+@pytest.fixture(scope="module")
+def profile():
+    report = run(
+        "db", "25.25.100", 32 * 1024,
+        options=RunOptions(scale=0.4, profile="full"),
+    )
+    assert report.completed
+    return report.profile
+
+
+def test_tables_render_from_report_and_dict_identically(profile):
+    as_dict = json.loads(profile.to_json())
+    for table in (survival_table, survival_by_label_table, pause_table,
+                  mmu_table, attribution_table, geometry_heatmap):
+        assert table(profile) == table(as_dict)
+        assert table(profile).strip()
+
+
+def test_render_profile_contains_every_section(profile):
+    text = render_profile(profile)
+    for title in ("survival curve", "survivor fraction by belt/space",
+                  "pause percentiles", "minimum mutator utilisation",
+                  "collection cost attribution", "heap geometry"):
+        assert title in text
+
+
+def test_survival_table_reflects_report_rows(profile):
+    text = survival_table(profile)
+    assert len(text.splitlines()) >= 3 + len(profile.survival_curve) - 1
+    first = profile.survival_curve[0]
+    assert f"{first['age_lo_bytes']}..{first['age_hi_bytes']}" in text
+
+
+def test_geometry_heatmap_words_view(profile):
+    frames = geometry_heatmap(profile, value="frames")
+    words = geometry_heatmap(profile, value="words")
+    assert frames != words
+    for label in profile.geometry_labels:
+        assert label in frames and label in words
+
+
+def test_tables_reject_non_reports():
+    with pytest.raises(TypeError):
+        pause_table(42)

@@ -1,0 +1,60 @@
+"""``beltway-bench profile``: report artefacts and exit-code contract."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+
+
+def test_profile_writes_markdown_and_json(tmp_path, capsys):
+    md = tmp_path / "jess.md"
+    js = tmp_path / "jess.json"
+    rc = main([
+        "profile", "--benchmark", "jess", "--heap-kb", "48",
+        "--scale", "0.2", "--output", str(md), "--json", str(js),
+    ])
+    assert rc == 0
+    text = md.read_text()
+    assert "# GC profile: jess / 25.25.100" in text
+    assert "## Pause analytics" in text
+    report = json.loads(js.read_text())
+    assert report["benchmark"] == "jess"
+    assert report["completed"] is True
+    assert report["pauses"]["count"] == len(report["attribution"])
+    out = capsys.readouterr().out
+    assert str(md) in out and str(js) in out
+
+
+def test_profile_to_stdout(capsys):
+    rc = main([
+        "profile", "--benchmark", "jess", "--heap-kb", "48", "--scale", "0.1",
+    ])
+    assert rc == 0
+    assert "# GC profile: jess / 25.25.100" in capsys.readouterr().out
+
+
+def test_profile_unwritable_output_is_exit_1(tmp_path, capsys):
+    missing_dir = tmp_path / "no" / "such" / "dir" / "out.md"
+    rc = main([
+        "profile", "--benchmark", "jess", "--heap-kb", "48",
+        "--scale", "0.1", "--output", str(missing_dir),
+    ])
+    assert rc == 1
+    assert "cannot write profile report" in capsys.readouterr().err
+
+
+def test_profile_unwritable_json_is_exit_1(tmp_path, capsys):
+    md = tmp_path / "ok.md"
+    rc = main([
+        "profile", "--benchmark", "jess", "--heap-kb", "48",
+        "--scale", "0.1", "--output", str(md),
+        "--json", str(tmp_path / "no" / "such.json"),
+    ])
+    assert rc == 1
+
+
+def test_profile_requires_heap(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["profile", "--benchmark", "jess"])
+    assert exc.value.code == 2  # argparse usage error

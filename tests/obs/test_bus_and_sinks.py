@@ -140,6 +140,34 @@ def test_ring_buffer_capacity_and_kinds():
         RingBufferSink(capacity=0)
 
 
+def test_ring_buffer_overflow_counts_oldest_dropped():
+    """Overflow is oldest-dropped and explicitly accounted: ``dropped``
+    counts evictions, and ``accepted == len(sink) + dropped`` always."""
+    ring = RingBufferSink(capacity=2)
+    assert ring.dropped == 0
+    ring.accept(_gc_end(id=0))
+    ring.accept(_gc_end(id=1))
+    assert ring.dropped == 0  # full, but nothing evicted yet
+    for i in range(2, 7):
+        ring.accept(_gc_end(id=i))
+    assert ring.dropped == 5
+    assert ring.accepted == 7
+    assert ring.accepted == len(ring) + ring.dropped
+    # Survivors are the most recent events, in arrival order.
+    assert [e.data["id"] for e in ring.events] == [5, 6]
+
+
+def test_ring_buffer_unbounded_never_drops():
+    ring = RingBufferSink()  # capacity=None: keep everything
+    for i in range(100):
+        ring.accept(_gc_end(id=i))
+    assert ring.dropped == 0
+    assert len(ring) == ring.accepted == 100
+    # clear() empties the buffer but keeps the lifetime accounting.
+    ring.clear()
+    assert len(ring) == 0 and ring.accepted == 100 and ring.dropped == 0
+
+
 def test_counter_sink_folds_stream():
     sink = CounterSink()
     sink.accept(_gc_end(pause_cycles=10.0))
