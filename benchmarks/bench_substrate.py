@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -38,6 +39,7 @@ from repro.core.remset import RememberedSets  # noqa: E402
 from repro.harness.runner import RunOptions, run as run_cell  # noqa: E402
 from repro.heap.objectmodel import ObjectModel, TypeRegistry  # noqa: E402
 from repro.heap.space import AddressSpace  # noqa: E402
+from repro.kernels import TIER_ENV, available, resolve  # noqa: E402
 from repro.runtime.mutator import MutatorContext  # noqa: E402
 from repro.runtime.vm import VM  # noqa: E402
 
@@ -76,6 +78,26 @@ def _time_loop(fn, min_seconds: float):
         if elapsed >= min_seconds:
             return n, elapsed
         n *= 2
+
+
+def _best_of(fn, min_seconds: float) -> float:
+    """Best (minimum) single-call wall time of ``fn`` over a window.
+
+    The substrate-kernel metrics run at microsecond granularity where a
+    shared runner's scheduling noise swamps a windowed average; the
+    minimum is the standard robust estimator (same rationale as the
+    best-of-rounds timing in :func:`bench_telemetry`).
+    """
+    fn()  # warm-up
+    best = float("inf")
+    deadline = time.perf_counter() + min_seconds
+    while time.perf_counter() < deadline:
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
 
 
 def bench_copy_words(min_seconds: float) -> float:
@@ -137,21 +159,33 @@ def bench_alloc(min_seconds: float) -> float:
     return n * 2000 / elapsed
 
 
-def bench_barrier(min_seconds: float) -> float:
-    """Barriered reference stores/s (the paper's Fig. 4 fast path)."""
-    vm = VM(heap_bytes=256 * 1024, collector="25.25.100")
+def bench_barrier(min_seconds: float, tier: str = None) -> float:
+    """Barriered reference stores/s (the paper's Fig. 4 fast path).
+
+    Re-pointed (ISSUE 6) at the batched mutator API: ``write_ref_batch``
+    is the substrate-kernel tier's store path — counter-bit-identical to
+    the scalar loop and vectorised on numpy/cffi tiers, falling back to
+    the exact scalar sequence on the python tier.
+    """
+    batch = 4096
+    vm = VM(heap_bytes=256 * 1024, collector="25.25.100", tier=tier)
     node = vm.define_type("node", nrefs=2, nscalars=1)
     mu = MutatorContext(vm)
     a = mu.alloc(node)
     b = mu.alloc(node)
+    try:
+        import numpy as np
 
-    def step():
-        write = mu.write
-        for _ in range(1000):
-            write(a, 0, b)
+        objs = np.full(batch, a.addr, dtype=np.int64)
+        idxs = np.zeros(batch, dtype=np.int64)
+        vals = np.full(batch, b.addr, dtype=np.int64)
+    except ImportError:  # pragma: no cover - numpy is baked into the image
+        objs = [a.addr] * batch
+        idxs = [0] * batch
+        vals = [b.addr] * batch
 
-    n, elapsed = _time_loop(step, min_seconds)
-    return n * 1000 / elapsed
+    best = _best_of(lambda: vm.write_ref_batch(objs, idxs, vals), min_seconds)
+    return batch / best
 
 
 def bench_remset_insert(min_seconds: float) -> float:
@@ -189,19 +223,32 @@ def bench_remset_drain(min_seconds: float) -> float:
     return n * slots / elapsed
 
 
-def _bench_trace(collector: str, min_seconds: float) -> float:
+def _bench_trace(collector: str, min_seconds: float, tier: str = None) -> float:
     """Words evacuated/s by forced collections over a linked object graph
-    (the inlined Cheney scan + copy loop)."""
-    vm = VM(heap_bytes=256 * 1024, collector=collector)
+    (the Cheney scan + copy loop — compiled on the cffi tier).
+
+    2000 nodes (ISSUE 6: grown from the seed's 400) so the per-collection
+    fixed costs — result bookkeeping, reclaim, the C view export — are
+    amortised over enough copied words to measure the trace loop itself,
+    and 4KB frames (the geometry the other substrate benches use) so the
+    measurement is the scan/copy loop rather than per-frame grow
+    bookkeeping — at the experiments' 64-word frames a 6-word object
+    crosses a frame boundary every ~10 copies and refill accounting
+    dominates every tier equally.  The python-tier number is nearly
+    geometry-independent, so the speedup vs the pre-kernel baseline
+    stays like-for-like.
+    """
+    vm = VM(heap_bytes=1024 * 1024, collector=collector, frame_shift=12,
+            tier=tier)
     node = vm.define_type("node", nrefs=2, nscalars=1)
     mu = MutatorContext(vm)
-    handles = [mu.alloc(node) for _ in range(400)]
+    handles = [mu.alloc(node) for _ in range(2000)]
     for i, h in enumerate(handles):
         mu.write(h, 0, handles[i - 1])
-    per_call = vm.collect().copied_words  # constant: all 400 nodes survive
+    per_call = vm.collect().copied_words  # constant: every node survives
 
-    n, elapsed = _time_loop(lambda: vm.collect(), min_seconds)
-    return n * per_call / elapsed
+    best = _best_of(lambda: vm.collect(), min_seconds)
+    return per_call / best
 
 
 #: Hard ceiling on the telemetry-disabled overhead of the ``run()`` API
@@ -450,6 +497,29 @@ def bench_sweep(quick: bool, parallel: bool) -> dict:
         )
         out[f"sweep_seconds_{label}"] = time.perf_counter() - start
         out[f"sweep_completed_{label}"] = sum(r.completed for r in result.runs)
+        out[f"sweep_mode_{label}"] = result.execution_mode
+    return out
+
+
+def bench_tiers(min_seconds: float) -> dict:
+    """The three kernel-sensitive metrics, once per *available* tier.
+
+    Keys are ``metric@tier`` and land in ``metrics`` so the ``--check``
+    gate covers each backend individually (ISSUE 6 satellite: a tier that
+    silently loses its kernels regresses its own gated entries, not just
+    the auto-tier headline numbers).
+    """
+    out = {}
+    for tier, status in available().items():
+        if not status.startswith("ok"):
+            continue
+        out[f"barrier_stores_per_s@{tier}"] = bench_barrier(min_seconds, tier)
+        out[f"beltway_traced_words_per_s@{tier}"] = _bench_trace(
+            "25.25.100", min_seconds, tier
+        )
+        out[f"gctk_traced_words_per_s@{tier}"] = _bench_trace(
+            "gctk:SS", min_seconds, tier
+        )
     return out
 
 
@@ -466,9 +536,12 @@ def run(quick: bool, parallel: bool = True) -> dict:
         "beltway_traced_words_per_s": _bench_trace("25.25.100", min_seconds),
         "gctk_traced_words_per_s": _bench_trace("gctk:SS", min_seconds),
     }
+    metrics.update(bench_tiers(min_seconds))
     return {
         "schema": 1,
         "mode": "quick" if quick else "full",
+        "substrate_tier": resolve(None).name,
+        "tiers_available": available(),
         "metrics": metrics,
         "telemetry": bench_telemetry(quick),
         "sanitizer": bench_sanitizer(quick),
@@ -485,14 +558,21 @@ def check(report: dict, baseline_path: Path, threshold: float) -> int:
     """Exit status 1 if any gated metric regressed more than ``threshold``."""
     baseline = json.loads(baseline_path.read_text())
     failures = []
-    for key in GATED_METRICS:
+    # Gate the fixed metric list plus every per-tier ``metric@tier`` entry
+    # the baseline recorded (skipping tiers this runner lacks, so a
+    # python-only environment still checks cleanly against a full baseline).
+    gated = list(GATED_METRICS) + sorted(
+        key for key in baseline.get("metrics", {})
+        if "@" in key and key in report["metrics"]
+    )
+    for key in gated:
         base = baseline.get("metrics", {}).get(key)
         now = report["metrics"][key]
         if not base:
             continue
         ratio = now / base
         status = "OK" if ratio >= 1.0 - threshold else "REGRESSED"
-        print(f"  {key:<24} {now:14.0f} vs baseline {base:14.0f}  "
+        print(f"  {key:<30} {now:14.0f} vs baseline {base:14.0f}  "
               f"({ratio:5.2f}x) {status}")
         if ratio < 1.0 - threshold:
             failures.append(key)
@@ -553,7 +633,12 @@ def main(argv=None) -> int:
                              "suppressed in --check mode unless given)")
     parser.add_argument("--no-parallel", action="store_true",
                         help="skip the parallel end-to-end sweep timing")
+    parser.add_argument("--tier", choices=("python", "numpy", "cffi", "auto"),
+                        help="force the substrate-kernel tier for the "
+                             "headline metrics (sets " + TIER_ENV + ")")
     args = parser.parse_args(argv)
+    if args.tier:
+        os.environ[TIER_ENV] = args.tier
     if args.check and not args.check.is_file():
         parser.error(f"baseline file not found: {args.check}")
 

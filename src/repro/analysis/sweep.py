@@ -46,6 +46,11 @@ class SweepResult:
     min_heap_bytes: int
     multipliers: List[float]
     runs: List[RunStats] = field(default_factory=list)
+    #: How the grid actually executed: ``"parallel"`` (process pool) or
+    #: ``"serial"`` — which may differ from the ``parallel=`` argument
+    #: when the auto-fallback vetoes a pool (one effective CPU, one job;
+    #: see :func:`repro.harness.runner.should_parallelise`).
+    execution_mode: str = "serial"
 
     @property
     def heap_sizes(self) -> List[int]:
@@ -98,8 +103,12 @@ def sweep(
     ``parallel=True`` fans the grid points out over worker processes via
     :func:`repro.harness.runner.run_many`; results are bit-identical to
     the serial loop (``parallel=False``, the default and escape hatch).
+    On a single effective CPU the pool is skipped automatically (it can
+    only add overhead); ``SweepResult.execution_mode`` records which path
+    actually ran.
     """
-    from ..harness.runner import run_many  # local: avoids import cycle
+    # Local imports: avoids an import cycle with the harness.
+    from ..harness.runner import run_many, should_parallelise
 
     result = SweepResult(
         benchmark=benchmark,
@@ -111,7 +120,9 @@ def sweep(
         (benchmark, collector, _heap_at(min_heap_bytes, m), scale, seed)
         for m in result.multipliers
     ]
-    result.runs.extend(run_many(jobs, parallel=parallel, max_workers=max_workers))
+    use_pool = should_parallelise(len(jobs), parallel, max_workers)
+    result.execution_mode = "parallel" if use_pool else "serial"
+    result.runs.extend(run_many(jobs, parallel=use_pool, max_workers=max_workers))
     return result
 
 
@@ -135,7 +146,8 @@ def sweep_grid(
     collector) pair, each bit-identical to what serial :func:`sweep`
     calls would produce for the same seed.
     """
-    from ..harness.runner import run_many  # local: avoids import cycle
+    # Local imports: avoids an import cycle with the harness.
+    from ..harness.runner import run_many, should_parallelise
 
     multipliers = list(multipliers)
     pairs = [(b, c) for b in benchmarks for c in collectors]
@@ -144,7 +156,9 @@ def sweep_grid(
         for (b, c) in pairs
         for m in multipliers
     ]
-    runs = run_many(jobs, parallel=parallel, max_workers=max_workers)
+    use_pool = should_parallelise(len(jobs), parallel, max_workers)
+    mode = "parallel" if use_pool else "serial"
+    runs = run_many(jobs, parallel=use_pool, max_workers=max_workers)
     out: Dict[Tuple[str, str], SweepResult] = {}
     for i, (b, c) in enumerate(pairs):
         result = SweepResult(
@@ -152,6 +166,7 @@ def sweep_grid(
             collector=c,
             min_heap_bytes=min_heap_bytes[b],
             multipliers=list(multipliers),
+            execution_mode=mode,
         )
         result.runs.extend(runs[i * len(multipliers) : (i + 1) * len(multipliers)])
         out[(b, c)] = result

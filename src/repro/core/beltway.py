@@ -52,14 +52,18 @@ class BeltwayHeap:
         boot: BootImage,
         config: BeltwayConfig,
         debug_verify: bool = False,
+        kernels=None,
     ):
         self.space = space
         self.model = model
         self.boot = boot
         self.config = config
         self.debug_verify = debug_verify
+        #: Substrate-kernel tier (repro.kernels.KernelSet) or None for the
+        #: pure-Python reference paths.
+        self.kernels = kernels
         self.policy = make_policy(config)
-        self.remsets = RememberedSets()
+        self.remsets = RememberedSets(kernels)
         self.barrier = FrameBarrier(space, self.remsets)
         # Compiled mutator fast paths (ISSUE 2): instance attributes bound
         # once at heap construction, so every reference store and field
@@ -86,6 +90,9 @@ class BeltwayHeap:
         self.allocations = 0
         self.allocated_words = 0
         self.flips = 0
+        #: Bumped on every restamp so the compiled substrate trace knows
+        #: when its frame-order snapshot went stale (DESIGN §13).
+        self.restamp_epoch = 0
 
     @property
     def name(self) -> str:
@@ -249,6 +256,7 @@ class BeltwayHeap:
         return inc
 
     def restamp(self) -> None:
+        self.restamp_epoch += 1
         restamp(self.space, self.policy.priority_belts(self))
 
     def note_increments_removed(self, batch: List[Increment]) -> None:

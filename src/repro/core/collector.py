@@ -79,12 +79,13 @@ class Collector:
     def __init__(self, heap: "BeltwayHeap"):
         self.heap = heap
         self._collections = 0
+        # Substrate trace engine (repro.kernels cffi tier): resolved
+        # lazily on the first collection; False = checked, unavailable.
+        self._tracer = None
 
     # ------------------------------------------------------------------
     def collect(self, batch: List[Increment], reason: str) -> CollectionResult:
         heap = self.heap
-        space = heap.space
-        model = heap.model
         if not batch:
             raise HeapCorruption("collect() called with an empty batch")
         self._collections += 1
@@ -113,6 +114,48 @@ class Collector:
             for index in inc.frame_indices():
                 from_increment[index] = inc
 
+        # -- trace: compiled substrate engine or the reference loops ------
+        # Policies that route copies through destination contexts (MOS
+        # trains) set kernel_traceable = False and always take the
+        # reference path; both paths are counter-bit-identical (DESIGN §13).
+        tracer = self._tracer
+        if tracer is None:
+            kernels = heap.kernels
+            tracer = (
+                kernels.beltway_tracer(self) if kernels is not None else None
+            ) or False
+            self._tracer = tracer
+        if tracer and heap.policy.kernel_traceable:
+            tracer.trace(from_frames, from_increment, result)
+        else:
+            self._trace_reference(result, from_frames, from_increment)
+
+        # -- reclaim -------------------------------------------------------
+        space = heap.space
+        result.remset_entries_dropped = heap.remsets.drop_frames(from_frames)
+        for inc in batch:
+            for frame in list(inc.region.frames):
+                space.release_frame(frame)
+                result.freed_frames += 1
+            inc.belt.remove(inc)
+        heap.note_increments_removed(batch)
+        heap.restamp()
+        heap.policy.after_collection(heap)
+        if heap.debug_verify:
+            heap.verify()
+        return result
+
+    # ------------------------------------------------------------------
+    def _trace_reference(
+        self,
+        result: CollectionResult,
+        from_frames: Set[int],
+        from_increment: Dict[int, Increment],
+    ) -> None:
+        """The pure-Python trace phase (roots, remset drain, closure)."""
+        heap = self.heap
+        space = heap.space
+        model = heap.model
         dests: Dict[object, Increment] = {}  # dest key -> open destination
         worklist: List = []  # (copied addr, dest context); drained by cursor
         shift = space.frame_shift
@@ -274,20 +317,6 @@ class Collector:
                     if t != s and orders[t] < orders[s]:
                         insert(s, t, obj + ((i + 3) << 2))
 
-        # -- reclaim -------------------------------------------------------
-        result.remset_entries_dropped = heap.remsets.drop_frames(from_frames)
-        for inc in batch:
-            for frame in list(inc.region.frames):
-                space.release_frame(frame)
-                result.freed_frames += 1
-            inc.belt.remove(inc)
-        heap.note_increments_removed(batch)
-        heap.restamp()
-        heap.policy.after_collection(heap)
-        if heap.debug_verify:
-            heap.verify()
-        return result
-
     # ------------------------------------------------------------------
     def _copy_alloc(
         self,
@@ -313,6 +342,20 @@ class Collector:
         # Contexts only steer policy-managed belts; an object bound for an
         # ordinary belt (e.g. a nursery child of a train-resident object in
         # a combined batch) follows its normal promotion target.
+        return self._copy_alloc_in_belt(belt_index, size_words, dests, from_frames)
+
+    def _copy_alloc_in_belt(
+        self,
+        belt_index: int,
+        size_words: int,
+        dests: Dict[object, Increment],
+        from_frames: Set[int],
+    ) -> int:
+        """Belt-routed copy allocation: grow the open destination, then
+        overflow into fresh increments.  Also the refill slow path of the
+        compiled trace engine, which bump-allocates the fast path itself.
+        """
+        heap = self.heap
         dest = dests.get(belt_index)
         if dest is None:
             dest = self._choose_dest(belt_index, from_frames)

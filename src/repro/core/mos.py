@@ -82,6 +82,10 @@ class Train:
 class MOSPolicy(GenerationalPolicy):
     """Generational promotion below, train-managed top belt above."""
 
+    #: Train routing steers copies through destination contexts, which
+    #: the compiled substrate trace does not model: reference trace only.
+    kernel_traceable = False
+
     def __init__(self, config: BeltwayConfig):
         super().__init__(config)
         self.trains: List[Train] = []

@@ -42,6 +42,13 @@ def make_policy(config: BeltwayConfig) -> "Policy":
 class Policy:
     """Shared interface; see module docstring."""
 
+    #: Whether the compiled substrate trace engine may run collections
+    #: under this policy.  True means every copy routes by target belt
+    #: alone (root/slot destination contexts are always None); policies
+    #: that steer copies through contexts (MOS trains) set this False and
+    #: always use the reference trace (DESIGN §13).
+    kernel_traceable = True
+
     def __init__(self, config: BeltwayConfig):
         self.config = config
 

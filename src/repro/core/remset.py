@@ -33,12 +33,16 @@ split:
 Counter-equivalence invariant: every externally visible statistic —
 ``inserts``, ``duplicate_inserts``, ``total_entries``/``len()``, the
 values yielded by ``slots_into`` *and their order*, and ``drop_frames``
-return values — is bit-identical to the eager dict-of-sets
-implementation this replaces.  Order is preserved because (a) pairs are
-drained in creation order (``_seq`` reproduces dict insertion order,
-including re-insertion after a drop moving a key to the back), and (b)
-each pair's set sees the identical add-sequence the eager code produced,
-so CPython's set iteration order is identical too.
+return values — is pinned by the golden-counter suite and must be
+bit-identical across substrate tiers (DESIGN §13).  Drain order is
+*canonically first-insertion order at both levels*: pairs drain in
+pair-creation order (``_seq`` reproduces dict insertion order, including
+re-insertion after a drop moving a key to the back), and within a pair
+slots drain in the order they were first inserted (``_synced`` holds an
+insertion-ordered dict-as-set, never a hash-ordered ``set``).  First-
+insertion order is the one ordering every tier — a Python loop, a numpy
+``unique(return_index)`` dedup, or a C kernel replay — can reproduce
+exactly; CPython set iteration order is not.
 """
 
 from __future__ import annotations
@@ -52,12 +56,28 @@ _KEY_SHIFT = 32
 _KEY_MASK = (1 << _KEY_SHIFT) - 1
 
 
-class RememberedSets:
-    """All remsets of one collector, keyed by (src_frame, tgt_frame)."""
+#: Pending buffers at least this long drain through the substrate-kernel
+#: dedup when one is attached; shorter ones use the reference loop.
+_KERNEL_SYNC_THRESHOLD = 16
 
-    def __init__(self) -> None:
+
+class RememberedSets:
+    """All remsets of one collector, keyed by (src_frame, tgt_frame).
+
+    ``kernels`` is an optional :class:`repro.kernels.KernelSet`; numpy
+    tiers replace the drain-time dedup loop with a vectorised kernel that
+    preserves the canonical first-insertion order and the exact
+    ``duplicate_inserts`` accounting (DESIGN §13).
+    """
+
+    def __init__(self, kernels=None) -> None:
+        self._sync_kernel = (
+            kernels.remset_sync() if kernels is not None else None
+        )
         #: Drained (deduplicated) entries per pair, in pair-creation order.
-        self._synced: Dict[int, Set[int]] = {}
+        #: Each value is a dict-as-set: keys are slot addresses in
+        #: first-insertion order (the canonical cross-tier drain order).
+        self._synced: Dict[int, Dict[int, None]] = {}
         #: Pending SSB tails per pair (appended by ``insert``).
         self._pending: Dict[int, array] = {}
         #: Pair-creation stamps: reproduces dict insertion order for drains.
@@ -93,7 +113,7 @@ class RememberedSets:
     def _new_pair(self, src_frame: int, tgt_frame: int, key: int) -> array:
         buf = array("q")
         self._pending[key] = buf
-        self._synced[key] = set()
+        self._synced[key] = {}
         self._seq[key] = self._next_seq
         self._next_seq += 1
         self._by_target.setdefault(tgt_frame, set()).add(key)
@@ -103,20 +123,24 @@ class RememberedSets:
     # ------------------------------------------------------------------
     # Drain-time dedup
     # ------------------------------------------------------------------
-    def _sync(self, key: int) -> Set[int]:
-        """Merge the pair's pending buffer into its deduplicated set."""
+    def _sync(self, key: int) -> Dict[int, None]:
+        """Merge the pair's pending buffer into its deduplicated dict-set.
+
+        The returned mapping's keys iterate in first-insertion order —
+        the canonical drain order every substrate tier reproduces.
+        """
         entries = self._synced[key]
         buf = self._pending[key]
         if buf:
-            add = entries.add
-            dups = 0
-            fresh = 0
-            for slot in buf:
-                if slot in entries:
-                    dups += 1
-                else:
-                    add(slot)
-                    fresh += 1
+            kernel = self._sync_kernel
+            if kernel is not None and len(buf) >= _KERNEL_SYNC_THRESHOLD:
+                fresh, dups = kernel(entries, buf)
+            else:
+                before = len(entries)
+                for slot in buf:
+                    entries[slot] = None
+                fresh = len(entries) - before
+                dups = len(buf) - fresh
             self._duplicate_inserts += dups
             self._total_entries += fresh
             del buf[:]
@@ -231,7 +255,7 @@ class RememberedSets:
         key = (src_frame << _KEY_SHIFT) | tgt_frame
         if key not in self._synced:
             return set()
-        return self._sync(key)
+        return set(self._sync(key))
 
     def __len__(self) -> int:
         return self.total_entries

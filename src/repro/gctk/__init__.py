@@ -20,16 +20,17 @@ from .semispace import SemiSpaceGctk
 from .ssb import BoundaryBarrier, SequentialStoreBuffer
 
 
-def make_gctk_plan(name, space, model, boot, debug_verify=False):
+def make_gctk_plan(name, space, model, boot, debug_verify=False, kernels=None):
     """Instantiate a gctk baseline by name (without the ``gctk:`` prefix)."""
     token = name.strip().lower()
     if token in ("ss", "semispace", "semi-space"):
-        return SemiSpaceGctk(space, model, boot, debug_verify)
+        return SemiSpaceGctk(space, model, boot, debug_verify, kernels=kernels)
     if token in ("appel", "ba2"):
-        return AppelGctk(space, model, boot, debug_verify)
+        return AppelGctk(space, model, boot, debug_verify, kernels=kernels)
     match = re.fullmatch(r"fixed\.(\d+)", token)
     if match:
-        return FixedNurseryGctk(space, model, boot, int(match.group(1)), debug_verify)
+        return FixedNurseryGctk(space, model, boot, int(match.group(1)),
+                                debug_verify, kernels=kernels)
     raise ConfigError(f"unknown gctk collector {name!r}")
 
 

@@ -14,7 +14,6 @@ from __future__ import annotations
 from ..errors import OutOfMemory
 from ..heap.allocator import BumpRegion
 from .base import GctkPlan, MATURE_ORDER, NURSERY_ORDER
-from .copying import cheney_trace
 
 #: Appel's "small fixed threshold": a nursery below this is a full heap.
 MIN_NURSERY_FRAMES = 1
@@ -23,8 +22,10 @@ MIN_NURSERY_FRAMES = 1
 class AppelGctk(GctkPlan):
     """Flexible nursery: capacity = (heap − mature) / 2."""
 
-    def __init__(self, space, model, boot, debug_verify=False, name="gctk:Appel"):
-        super().__init__(name, space, model, boot, debug_verify)
+    def __init__(self, space, model, boot, debug_verify=False,
+                 name="gctk:Appel", kernels=None):
+        super().__init__(name, space, model, boot, debug_verify,
+                         kernels=kernels)
         self.nursery = BumpRegion(space)
         self.mature = BumpRegion(space)
 
@@ -90,14 +91,9 @@ class AppelGctk(GctkPlan):
         from_frames = {frame.index for frame in self.nursery.frames}
         result.from_frames = len(from_frames)
         result.from_words = self.nursery.allocated_words
-        cheney_trace(
-            self.model,
-            self.root_arrays,
-            tuple(self.ssb.slots),
-            self.boot.iter_objects(),
-            from_frames,
-            self._copy_allocator(self.mature, "mature", MATURE_ORDER),
-            result,
+        self._run_trace(
+            tuple(self.ssb.slots), from_frames,
+            self.mature, "mature", MATURE_ORDER, result,
         )
         result.freed_frames = self._release_region(self.nursery)
         self.ssb.clear()
@@ -118,14 +114,8 @@ class AppelGctk(GctkPlan):
         to_space = BumpRegion(self.space)
         # SSB slots live inside the collected space: ignored (their objects
         # are re-scanned when copied).
-        cheney_trace(
-            self.model,
-            self.root_arrays,
-            (),
-            self.boot.iter_objects(),
-            from_frames,
-            self._copy_allocator(to_space, "mature", MATURE_ORDER),
-            result,
+        self._run_trace(
+            (), from_frames, to_space, "mature", MATURE_ORDER, result,
         )
         result.freed_frames = self._release_region(self.nursery)
         result.freed_frames += self._release_region(self.mature)

@@ -36,8 +36,12 @@ class GctkPlan:
         model: ObjectModel,
         boot: BootImage,
         debug_verify: bool = False,
+        kernels=None,
     ):
         self.name = name
+        #: Substrate-kernel tier (repro.kernels.KernelSet) or None for the
+        #: pure-Python reference paths.
+        self.kernels = kernels
         self.space = space
         self.model = model
         self.boot = boot
@@ -56,6 +60,11 @@ class GctkPlan:
         self.allocations = 0
         self.allocated_words = 0
         self._gc_count = 0
+        # Compiled substrate trace engine (repro.kernels cffi tier), or
+        # None for the reference cheney_trace.
+        self._trace_kernel = (
+            kernels.gctk_tracer(self) if kernels is not None else None
+        )
 
     # ------------------------------------------------------------------
     def register_roots(self, array: List[int]) -> None:
@@ -143,3 +152,30 @@ class GctkPlan:
             return addr
 
         return alloc_copy
+
+    def _run_trace(
+        self,
+        ssb_slots,
+        from_frames,
+        region: BumpRegion,
+        space_name: str,
+        order: int,
+        result: CollectionResult,
+    ) -> None:
+        """Evacuate ``from_frames`` into ``region``: the compiled substrate
+        engine when one is attached, else the reference cheney_trace.
+        Both are counter-bit-identical (DESIGN §13)."""
+        from .copying import cheney_trace
+
+        alloc_copy = self._copy_allocator(region, space_name, order)
+        tracer = self._trace_kernel
+        if tracer is not None:
+            tracer.trace(
+                self.root_arrays, ssb_slots, self.boot.iter_objects(),
+                from_frames, region, alloc_copy, result,
+            )
+        else:
+            cheney_trace(
+                self.model, self.root_arrays, ssb_slots,
+                self.boot.iter_objects(), from_frames, alloc_copy, result,
+            )

@@ -16,11 +16,13 @@ from .appel import AppelGctk
 class FixedNurseryGctk(AppelGctk):
     """Nursery capacity fixed at ``pct`` % of half the heap."""
 
-    def __init__(self, space, model, boot, pct: int, debug_verify=False):
+    def __init__(self, space, model, boot, pct: int, debug_verify=False,
+                 kernels=None):
         if not 0 < pct <= 100:
             raise ConfigError(f"fixed nursery percentage {pct} out of range")
         super().__init__(
-            space, model, boot, debug_verify, name=f"gctk:Fixed.{pct}"
+            space, model, boot, debug_verify, name=f"gctk:Fixed.{pct}",
+            kernels=kernels,
         )
         self.pct = pct
         usable_frames = space.heap_frames // 2

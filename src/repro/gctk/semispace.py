@@ -5,14 +5,14 @@ from __future__ import annotations
 from ..errors import OutOfMemory
 from ..heap.allocator import BumpRegion
 from .base import GctkPlan, MATURE_ORDER, NURSERY_ORDER
-from .copying import cheney_trace
 
 
 class SemiSpaceGctk(GctkPlan):
     """Half the heap is to-space reserve; collect when from-space fills."""
 
-    def __init__(self, space, model, boot, debug_verify=False):
-        super().__init__("gctk:SS", space, model, boot, debug_verify)
+    def __init__(self, space, model, boot, debug_verify=False, kernels=None):
+        super().__init__("gctk:SS", space, model, boot, debug_verify,
+                         kernels=kernels)
         self.region = BumpRegion(space)
         self.half_frames = max(1, space.heap_frames // 2)
         # No generational remembering: the boundary barrier never fires
@@ -47,14 +47,8 @@ class SemiSpaceGctk(GctkPlan):
         result.from_frames = len(from_frames)
         result.from_words = self.region.allocated_words
         to_space = BumpRegion(self.space)
-        cheney_trace(
-            self.model,
-            self.root_arrays,
-            (),
-            self.boot.iter_objects(),
-            from_frames,
-            self._copy_allocator(to_space, "ss", MATURE_ORDER),
-            result,
+        self._run_trace(
+            (), from_frames, to_space, "ss", MATURE_ORDER, result,
         )
         result.freed_frames = self._release_region(self.region)
         self.region = to_space

@@ -28,6 +28,7 @@ from typing import List, Optional
 
 from ..bench.spec import BENCHMARK_NAMES, KB
 from ..core.config import EXTENSION_CONFIGS, PAPER_CONFIGS
+from ..kernels import TIER_ENV
 from .experiments import ALL_EXPERIMENTS
 from .runner import RunOptions, find_min_heap, run
 
@@ -35,6 +36,12 @@ from .runner import RunOptions, find_min_heap, run
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=1.0, help="workload length multiplier")
     parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument(
+        "--tier", choices=("python", "numpy", "cffi", "auto"), default=None,
+        help="substrate-kernel tier for every VM this command builds "
+        "(default: the " + TIER_ENV + " environment variable, else auto; "
+        "results are bit-identical across tiers)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -156,6 +163,13 @@ def _run_experiment(name: str, points: int, scale: float) -> bool:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "tier", None):
+        # Through the environment rather than plumbing a parameter into
+        # every run/sweep call: the VM resolves the tier at construction,
+        # and worker processes of a parallel sweep inherit the setting.
+        import os
+
+        os.environ[TIER_ENV] = args.tier
     if args.command == "list":
         print("benchmarks: " + ", ".join(BENCHMARK_NAMES))
         print("collectors: " + ", ".join(PAPER_CONFIGS))

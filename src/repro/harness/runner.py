@@ -24,6 +24,7 @@ loop — same seeds, same cost-model cycles — just sooner.
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
 from dataclasses import dataclass
@@ -329,6 +330,37 @@ def _run_job(job: RunJob) -> RunStats:
     return run(benchmark, collector, heap_bytes, options=options).stats
 
 
+def effective_workers(max_workers: Optional[int] = None) -> int:
+    """Worker processes a parallel batch would actually get.
+
+    Prefers ``os.process_cpu_count`` (3.13+: honours affinity masks and
+    cgroup quotas, i.e. what containerised CI actually grants) and falls
+    back to ``os.cpu_count`` on older interpreters.
+    """
+    cpus = getattr(os, "process_cpu_count", os.cpu_count)() or 1
+    if max_workers is not None:
+        cpus = min(cpus, max_workers)
+    return max(1, cpus)
+
+
+def should_parallelise(
+    num_jobs: int,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+) -> bool:
+    """Whether a batch of ``num_jobs`` independent cells should fan out.
+
+    Serial when the caller opted out, when there is at most one job, or
+    when only one CPU is effectively available: a process pool on one
+    core pays fork + pickle + re-import per worker and can repay none of
+    it, so "parallel" sweeps on single-CPU runners measured *slower* than
+    the serial loop.  Results are bit-identical either way, so the
+    fallback is purely a scheduling decision; callers that need to know
+    which path ran record it (``SweepResult.execution_mode``).
+    """
+    return parallel and num_jobs > 1 and effective_workers(max_workers) > 1
+
+
 def run_many(
     jobs: Iterable[RunJob],
     parallel: bool = True,
@@ -337,15 +369,16 @@ def run_many(
     """Run a batch of independent grid cells, in input order.
 
     With ``parallel=True`` the jobs fan out over a
-    ``ProcessPoolExecutor``; ``parallel=False`` is the escape hatch that
-    runs the identical code in-process (useful under debuggers, on
-    platforms without ``fork``/``spawn`` headroom, or to rule the pool out
-    when bisecting a bug).  Both paths return bit-identical results:
-    every run re-derives its whole world from ``(benchmark, collector,
-    heap_bytes, scale, seed)``.
+    ``ProcessPoolExecutor`` — unless :func:`should_parallelise` vetoes it
+    (one job, or one effective CPU), in which case the batch silently
+    runs in-process.  ``parallel=False`` is the explicit escape hatch
+    (useful under debuggers, on platforms without ``fork``/``spawn``
+    headroom, or to rule the pool out when bisecting a bug).  All paths
+    return bit-identical results: every run re-derives its whole world
+    from ``(benchmark, collector, heap_bytes, scale, seed)``.
     """
     jobs = list(jobs)
-    if not parallel or len(jobs) <= 1:
+    if not should_parallelise(len(jobs), parallel, max_workers):
         return [_run_job(job) for job in jobs]
     # Imported lazily: worker processes re-importing this module must not
     # pay for (or recursively trigger) executor machinery.

@@ -16,11 +16,22 @@ Frames are recycled through the free pool of the :class:`~repro.heap.space.
 AddressSpace`; their storage is zeroed on release so stale pointers can
 never leak between collector epochs.
 
-Storage is a compact ``array('q')`` (one signed 64-bit slot per simulated
-word) rather than a Python list: slices of it move through C memcpy, which
-is what makes the bulk kernels in :mod:`repro.heap.space` fast.  Simulated
-words therefore must fit in a signed 64-bit integer — addresses, headers
-and benchmark scalars all do by construction.
+Storage is one signed 64-bit slot per simulated word, typed-array backed:
+slices of it move through C memcpy, which is what makes the bulk kernels
+in :mod:`repro.heap.space` fast.  Simulated words therefore must fit in a
+signed 64-bit integer — addresses, headers and benchmark scalars all do by
+construction.
+
+Frames created by an :class:`~repro.heap.space.AddressSpace` do not own
+their storage: ``words`` is a writable memoryview into one of the space's
+contiguous *slabs* (``_SLAB_FRAMES`` frames per ``array('q')``), so
+consecutive frame indices are consecutive in memory.  That slab layout is
+what the substrate-kernel tier (:mod:`repro.kernels`) builds on — a numpy
+view or a C pointer per slab addresses every frame without per-frame
+indirection, and slabs are never resized, so those views stay valid for
+the slab's lifetime.  A standalone ``Frame`` (no ``storage`` argument)
+allocates its own array, preserving the historical behaviour for direct
+construction in tests.
 """
 
 from __future__ import annotations
@@ -44,6 +55,12 @@ UNASSIGNED_ORDER = -1
 #: Bytes per storage slot of the typed backing array ('q' = int64).
 _SLOT_BYTES = 8
 
+#: Shared all-zero source arrays for :meth:`Frame.reset`, keyed by frame
+#: size.  Frames of one space all share a size, so release-time zeroing
+#: becomes a slice assign from this cache instead of a fresh allocation
+#: per release (frame release is on the collection reclaim path).
+_ZERO_CACHE: dict = {}
+
 
 class Frame:
     """Backing storage plus GC metadata for one frame of address space."""
@@ -59,10 +76,12 @@ class Frame:
         "allocated",
     )
 
-    def __init__(self, index: int, size_words: int):
+    def __init__(self, index: int, size_words: int, storage=None):
         self.index = index
         self.size_words = size_words
-        self.words = array("q", bytes(_SLOT_BYTES * size_words))
+        if storage is None:
+            storage = memoryview(array("q", bytes(_SLOT_BYTES * size_words)))
+        self.words = storage
         self.collect_order: int = UNASSIGNED_ORDER
         #: The owning Increment (Beltway) or space object (gctk collectors).
         self.increment: Optional[object] = None
@@ -75,7 +94,12 @@ class Frame:
         """Return the frame to its pristine, free state (storage zeroed)."""
         used = self.used_words
         if used:
-            self.words[:used] = array("q", bytes(_SLOT_BYTES * used))
+            zeros = _ZERO_CACHE.get(self.size_words)
+            if zeros is None:
+                zeros = _ZERO_CACHE[self.size_words] = memoryview(
+                    array("q", bytes(_SLOT_BYTES * self.size_words))
+                )
+            self.words[:used] = zeros[:used]
         self.collect_order = UNASSIGNED_ORDER
         self.increment = None
         self.space_name = "free"

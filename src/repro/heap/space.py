@@ -44,6 +44,18 @@ from .frame import BOOT_ORDER, UNASSIGNED_ORDER, Frame
 #: Low-bit mask catching misaligned byte addresses.
 _ALIGN_MASK = WORD_BYTES - 1
 
+#: Frames per storage slab (power of two).  Frame storage is carved out of
+#: contiguous ``array('q')`` slabs so frame index ``i`` lives at slab
+#: ``i >> _SLAB_SHIFT``, word offset ``(i & (_SLAB_FRAMES-1)) *
+#: frame_words``; the substrate-kernel tier addresses the whole heap
+#: through one numpy view / C pointer per slab.  Slabs are never resized,
+#: so those views stay valid for the life of the space.
+_SLAB_SHIFT = 9
+_SLAB_FRAMES = 1 << _SLAB_SHIFT
+
+#: Bytes per storage slot ('q' = int64 per simulated 4-byte word).
+_SLOT_BYTES = 8
+
 
 class AddressSpace:
     """Frame table, free pool, and word-granularity memory access.
@@ -66,10 +78,22 @@ class AddressSpace:
         #: Word-offset mask within a frame (frames are powers of two).
         self._word_mask = self.frame_words - 1
         self.heap_frames = heap_frames
+        # Contiguous frame-storage slabs (see _SLAB_FRAMES above).
+        self.slab_frames = _SLAB_FRAMES
+        self._slabs: List[array] = []
+        self._slab_views: List[memoryview] = []
         # Frame index 0 is never mapped: address 0 is NULL.
         self._frames: List[Optional[Frame]] = [None]
         #: collect_order per frame index, kept flat for the hot barrier path.
         self.orders: List[int] = [UNASSIGNED_ORDER]
+        #: Byte-per-frame mapped flags, mirroring ``_frames[i].allocated``;
+        #: the substrate-kernel trace memmoves this straight into its C
+        #: view instead of walking the frame table (DESIGN §13).
+        self.mapped_bytes = bytearray(1)
+        #: When not None, called with each newly acquired frame's index —
+        #: the compiled trace's hook for patching its C view incrementally
+        #: instead of rebuilding it after every copy-space refill.
+        self.acquire_hook = None
         self._free_pool: List[Frame] = []
         self.heap_frames_in_use = 0
         self.boot_frames_in_use = 0
@@ -107,14 +131,31 @@ class AddressSpace:
         if self._free_pool and not boot:
             frame = self._free_pool.pop()
         else:
-            frame = Frame(len(self._frames), self.frame_words)
+            index = len(self._frames)
+            frame = Frame(index, self.frame_words, self._frame_storage(index))
             self._frames.append(frame)
             self.orders.append(UNASSIGNED_ORDER)
+            self.mapped_bytes.append(0)
         frame.allocated = True
         frame.space_name = space_name
+        self.mapped_bytes[frame.index] = 1
         if boot:
             self.set_order(frame, BOOT_ORDER)
+        if self.acquire_hook is not None:
+            self.acquire_hook(frame.index)
         return frame
+
+    def _frame_storage(self, index: int) -> memoryview:
+        """The slab-backed storage view for frame ``index``."""
+        slab_index = index >> _SLAB_SHIFT
+        while slab_index >= len(self._slabs):
+            slab = array(
+                "q", bytes(_SLOT_BYTES * _SLAB_FRAMES * self.frame_words)
+            )
+            self._slabs.append(slab)
+            self._slab_views.append(memoryview(slab))
+        offset = (index & (_SLAB_FRAMES - 1)) * self.frame_words
+        return self._slab_views[slab_index][offset : offset + self.frame_words]
 
     def release_frame(self, frame: Frame) -> None:
         """Unmap a heap frame and recycle it through the free pool."""
@@ -124,6 +165,7 @@ class AddressSpace:
             raise InvalidAddress("boot-image frames are immortal")
         frame.reset()
         self.orders[frame.index] = UNASSIGNED_ORDER
+        self.mapped_bytes[frame.index] = 0
         self.heap_frames_in_use -= 1
         self._free_pool.append(frame)
         if self._cache_index == frame.index:

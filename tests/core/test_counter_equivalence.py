@@ -25,10 +25,10 @@ GOLDEN = json.loads(GOLDEN_PATH.read_text())
 
 
 def replay(benchmark: str, collector: str, heap_bytes: int, scale: float,
-           seed: int) -> dict:
+           seed: int, tier: str = None) -> dict:
     spec = get_spec(benchmark, scale)
     vm = VM(heap_bytes, collector=collector, locality=spec.locality,
-            benchmark_name=spec.name)
+            benchmark_name=spec.name, tier=tier)
     engine = SyntheticMutator(vm, spec, seed=seed)
     try:
         stats = engine.run()

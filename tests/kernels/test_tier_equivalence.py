@@ -1,0 +1,145 @@
+"""Cross-tier equivalence for the substrate-kernel tier (DESIGN §13).
+
+The kernel tiers (``python`` reference, ``numpy`` batch kernels, ``cffi``
+compiled trace engine) are pure mechanism: a fixed-seed run must produce
+**bit-identical** statistics on every tier.  These tests replay a slice
+of the golden-counter suite under each tier explicitly (the plain suite
+runs whatever ``auto`` resolves to), and run the sanitizer plus the
+fault-injection matrix on the fastest available tier — the checkers and
+the fault seams all live outside the kernels, so sabotage must stay
+exactly as detectable when the compiled paths are doing the copying.
+
+Tiers whose backend is absent in the environment are skipped with the
+probe's reason, never failed: missing accelerators degrade, they don't
+break (see ``repro.kernels.available``).
+"""
+
+import pytest
+
+from repro import VM, MutatorContext
+from repro.harness.runner import RunOptions, run
+from repro.kernels import TIER_ORDER, available, resolve
+from repro.sanitizer import FaultSpec, SanitizerViolation, arm_faults, attach_sanitizer
+
+from ..core.test_counter_equivalence import GOLDEN, replay
+
+TIERS = ("python", "numpy", "cffi")
+
+#: A slice of the golden grid spanning every benchmark and all four
+#: collector families (Beltway generational, MOS, Appel-style, gctk).
+CELLS = (
+    "jess/25.25.100",
+    "javac/Appel",
+    "db/25.25.MOS",
+    "jack/gctk:Appel",
+    "raytrace/25.25.100",
+    "pseudojbb/gctk:Appel",
+)
+
+
+def _require(tier: str) -> None:
+    status = available().get(tier, "unknown tier")
+    if not status.startswith("ok"):
+        pytest.skip(f"{tier} tier unavailable: {status}")
+
+
+def fastest_tier() -> str:
+    for tier in TIER_ORDER:
+        if available()[tier].startswith("ok"):
+            return tier
+    return "python"
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@pytest.mark.parametrize("cell", CELLS)
+def test_golden_counters_bit_identical_on_every_tier(cell, tier):
+    _require(tier)
+    benchmark, collector = cell.split("/", 1)
+    golden = GOLDEN["cells"][cell]
+    got = replay(benchmark, collector, golden["heap_bytes"],
+                 GOLDEN["scale"], GOLDEN["seed"], tier=tier)
+    expected = {k: v for k, v in golden.items() if k != "heap_bytes"}
+    assert got == expected
+
+
+def test_requested_tier_is_what_runs():
+    """The parametrisation above is only meaningful if an explicit tier
+    request resolves to that tier (not silently to something else)."""
+    for tier in TIERS:
+        if available()[tier].startswith("ok"):
+            assert resolve(tier).name == tier
+
+
+def test_unavailable_backend_degrades_not_raises(monkeypatch):
+    """A requested-but-absent backend drops down TIER_ORDER silently."""
+    import repro.kernels as kernels
+
+    monkeypatch.setitem(kernels._availability_cache, "cffi",
+                        "unavailable: simulated")
+    monkeypatch.setitem(kernels._availability_cache, "numpy",
+                        "unavailable: simulated")
+    resolved = resolve("cffi")
+    assert resolved.name == "python"
+    assert resolved.requested == "cffi"
+    # A VM built against the degraded tier still works end to end.
+    vm = VM(heap_bytes=64 * 1024, collector="25.25.100", tier="cffi")
+    mu = MutatorContext(vm)
+    node = vm.define_type("node", nrefs=1, nscalars=1)
+    a, b = mu.alloc(node), mu.alloc(node)
+    mu.write(a, 0, b)
+    vm.collect("smoke")
+
+
+# ----------------------------------------------------------------------
+# Sanitizer on the fastest tier: full checking attaches cleanly and the
+# fault matrix stays exactly as detectable with compiled kernels live.
+# ----------------------------------------------------------------------
+def test_sanitizer_clean_run_on_fastest_tier(monkeypatch):
+    tier = fastest_tier()
+    monkeypatch.setenv("REPRO_SUBSTRATE_TIER", tier)
+    report = run("jess", "25.25.100", 96 * 1024,
+                 options=RunOptions(scale=0.4, seed=13, sanitize=True))
+    assert report.completed
+    assert report.sanitizer.ok
+    assert report.sanitizer.collections_checked > 0
+
+
+#: (collector, fault kind, check that must flag it first) — the Beltway
+#: and gctk rows of the sanitizer meta-test, re-run with kernels enabled.
+FAULT_MATRIX = [
+    ("25.25.100", "barrier.drop-entry", "remset-completeness"),
+    ("25.25.100", "remset.corrupt-slot", "remset-completeness"),
+    ("25.25.100", "copy.skip-forward", "forwarding"),
+    ("25.25.100", "scalar.corrupt", "diff.scalar"),
+    ("25.25.100", "order.stale-stamp", "order-stamp"),
+    ("25.25.100", "reserve.shrink", "copy-reserve"),
+    ("gctk:Appel", "barrier.drop-entry", "remset-completeness"),
+    ("gctk:Appel", "copy.skip-forward", "forwarding"),
+    ("gctk:Appel", "scalar.corrupt", "diff.scalar"),
+]
+
+
+@pytest.mark.parametrize("collector,kind,check", FAULT_MATRIX)
+def test_fault_detected_on_fastest_tier(collector, kind, check):
+    """Same workload as tests/sanitizer/test_fault_matrix.py, tier forced
+    to the fastest backend: every fault must fire and be flagged by the
+    same checker as on the reference tier."""
+    vm = VM(heap_bytes=96 * 1024, collector=collector, tier=fastest_tier())
+    injector = arm_faults(vm, [FaultSpec(kind, nth=1)])
+    sanitizer = attach_sanitizer(vm)
+    mu = MutatorContext(vm)
+    node = vm.define_type("node", nrefs=1, nscalars=1)
+    try:
+        anchor = mu.alloc(node)
+        mu.write_int(anchor, 0, 7)
+        vm.collect("promote-anchor")
+        young = mu.alloc(node)
+        mu.write(anchor, 0, young)
+        vm.collect("check")
+        sanitizer.check_now()
+    except SanitizerViolation:
+        pass
+    report = sanitizer.report
+    assert injector.fired, f"{kind} never fired on {collector}"
+    assert not report.ok, f"{kind} fired on {collector} but went undetected"
+    assert report.violations[0].check == check
