@@ -63,6 +63,8 @@ GATED_METRICS = tuple(PRE_CHANGE) + (
     "remset_drain_slots_per_s",
     "beltway_traced_words_per_s",
     "gctk_traced_words_per_s",
+    "grid_store_lookups_per_s",
+    "grid_dispatch_jobs_per_s",
 )
 
 
@@ -501,6 +503,58 @@ def bench_sweep(quick: bool, parallel: bool) -> dict:
     return out
 
 
+def bench_grid_store(min_seconds: float) -> float:
+    """Warm-store lookups/s: ``ResultStore.get`` including deserialisation.
+
+    This is the whole cost of a warm campaign cell (DESIGN §14), so it
+    bounds how fast a cached figure can replay.
+    """
+    import shutil
+    import tempfile
+
+    from repro.grid import ResultStore, cell_key
+
+    stats = run_cell(
+        "jess", "25.25.100", 24 * 1024, options=RunOptions(scale=0.2)
+    ).stats
+    root = tempfile.mkdtemp(prefix="grid-bench-store-")
+    try:
+        with ResultStore(root) as store:
+            keys = [
+                cell_key("jess", "25.25.100", 24 * 1024, 0.2, seed)
+                for seed in range(128)
+            ]
+            for key in keys:
+                store.put(key, stats)
+        warm = ResultStore(root)
+
+        def step():
+            get = warm.get
+            for key in keys:
+                get(key)
+
+        n, elapsed = _time_loop(step, min_seconds)
+        return n * len(keys) / elapsed
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def bench_grid_dispatch(min_seconds: float) -> float:
+    """Jobs/s through ``execute_jobs`` with a no-op cell runner: pure
+    executor overhead (keying, cost ordering, bookkeeping, events off)."""
+    from repro.grid import execute_jobs
+    from repro.sim.stats import RunStats
+
+    jobs = [("jess", "25.25.100", (16 + i) * 1024, 0.2, 13) for i in range(64)]
+    stub = RunStats(benchmark="jess", collector="25.25.100", heap_bytes=0)
+
+    def step():
+        execute_jobs(jobs, parallel=False, cell_runner=lambda job: stub)
+
+    n, elapsed = _time_loop(step, min_seconds)
+    return n * len(jobs) / elapsed
+
+
 def bench_tiers(min_seconds: float) -> dict:
     """The three kernel-sensitive metrics, once per *available* tier.
 
@@ -535,6 +589,8 @@ def run(quick: bool, parallel: bool = True) -> dict:
         "remset_drain_slots_per_s": bench_remset_drain(min_seconds),
         "beltway_traced_words_per_s": _bench_trace("25.25.100", min_seconds),
         "gctk_traced_words_per_s": _bench_trace("gctk:SS", min_seconds),
+        "grid_store_lookups_per_s": bench_grid_store(min_seconds),
+        "grid_dispatch_jobs_per_s": bench_grid_dispatch(min_seconds),
     }
     metrics.update(bench_tiers(min_seconds))
     return {

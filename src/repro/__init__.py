@@ -29,6 +29,10 @@ The five names most users need are re-exported here:
 * :func:`sweep` — one collector across a heap-size grid (the shape every
   figure is built from);
 * :func:`find_min_heap` — the paper's "smallest heap that completes";
+* :class:`ResultStore` / :func:`find_min_heaps` — the content-addressed
+  on-disk result store and the batched minimum-heap search
+  (:mod:`repro.grid`): pass ``store=ResultStore(path)`` to any of the
+  above and reruns replay from disk instead of recomputing;
 * :func:`attach_tracer` — event tracing for a hand-built :class:`VM`.
 
 Quick start::
@@ -62,6 +66,7 @@ from .errors import (
     OutOfMemory,
     ReproError,
 )
+from .grid import ResultStore, cell_key, find_min_heaps
 from .harness.runner import (
     RunOptions,
     RunReport,
@@ -95,7 +100,7 @@ from .sanitizer import (
 from .sim.stats import RunStats
 from .sim.trace import Tracer, attach_tracer
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # consolidated run API
@@ -105,6 +110,10 @@ __all__ = [
     "find_min_heap",
     "RunOptions",
     "RunReport",
+    # grid store + batched search
+    "ResultStore",
+    "cell_key",
+    "find_min_heaps",
     # telemetry
     "attach_tracer",
     "Tracer",

@@ -90,8 +90,9 @@ def sweep(
     multipliers: Sequence[float],
     scale: float = 1.0,
     seed: int = 13,
-    parallel: bool = False,
+    parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
+    store=None,
 ) -> SweepResult:
     """Run ``collector`` on ``benchmark`` at every heap size in the grid.
 
@@ -100,12 +101,16 @@ def sweep(
     with smaller minima simply succeed below 1.0× and collectors with
     larger minima leave gaps — exactly how the paper's figures read.
 
-    ``parallel=True`` fans the grid points out over worker processes via
-    :func:`repro.harness.runner.run_many`; results are bit-identical to
-    the serial loop (``parallel=False``, the default and escape hatch).
-    On a single effective CPU the pool is skipped automatically (it can
-    only add overhead); ``SweepResult.execution_mode`` records which path
-    actually ran.
+    ``parallel`` defaults to the auto-decision
+    (:func:`repro.harness.runner.should_parallelise`, the same default as
+    :func:`sweep_grid`): the grid fans out over worker processes when a
+    pool can pay for itself, and runs in-process on a single effective
+    CPU or when ``parallel=False`` rules the pool out explicitly.
+    Results are bit-identical either way;
+    ``SweepResult.execution_mode`` records which path actually ran.
+    With a :class:`~repro.grid.store.ResultStore` as ``store``,
+    previously computed cells are served from disk and fresh ones are
+    checkpointed as they finish.
     """
     # Local imports: avoids an import cycle with the harness.
     from ..harness.runner import run_many, should_parallelise
@@ -120,9 +125,13 @@ def sweep(
         (benchmark, collector, _heap_at(min_heap_bytes, m), scale, seed)
         for m in result.multipliers
     ]
-    use_pool = should_parallelise(len(jobs), parallel, max_workers)
+    use_pool = should_parallelise(
+        len(jobs), parallel is not False, max_workers
+    )
     result.execution_mode = "parallel" if use_pool else "serial"
-    result.runs.extend(run_many(jobs, parallel=use_pool, max_workers=max_workers))
+    result.runs.extend(
+        run_many(jobs, parallel=use_pool, max_workers=max_workers, store=store)
+    )
     return result
 
 
@@ -133,8 +142,9 @@ def sweep_grid(
     multipliers: Sequence[float],
     scale: float = 1.0,
     seed: int = 13,
-    parallel: bool = True,
+    parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
+    store=None,
 ) -> Dict[Tuple[str, str], SweepResult]:
     """Run the full (benchmark, collector, multiplier) grid of a figure.
 
@@ -142,9 +152,11 @@ def sweep_grid(
     flattened into independent jobs and handed to
     :func:`repro.harness.runner.run_many` in one batch, so worker
     processes stay busy across benchmark boundaries instead of draining
-    per-sweep.  Returns one :class:`SweepResult` per (benchmark,
-    collector) pair, each bit-identical to what serial :func:`sweep`
-    calls would produce for the same seed.
+    per-sweep.  ``parallel`` defaults to the same auto-decision as
+    :func:`sweep`; ``store`` short-circuits previously computed cells.
+    Returns one :class:`SweepResult` per (benchmark, collector) pair,
+    each bit-identical to what serial :func:`sweep` calls would produce
+    for the same seed.
     """
     # Local imports: avoids an import cycle with the harness.
     from ..harness.runner import run_many, should_parallelise
@@ -156,9 +168,11 @@ def sweep_grid(
         for (b, c) in pairs
         for m in multipliers
     ]
-    use_pool = should_parallelise(len(jobs), parallel, max_workers)
+    use_pool = should_parallelise(
+        len(jobs), parallel is not False, max_workers
+    )
     mode = "parallel" if use_pool else "serial"
-    runs = run_many(jobs, parallel=use_pool, max_workers=max_workers)
+    runs = run_many(jobs, parallel=use_pool, max_workers=max_workers, store=store)
     out: Dict[Tuple[str, str], SweepResult] = {}
     for i, (b, c) in enumerate(pairs):
         result = SweepResult(

@@ -1,0 +1,295 @@
+"""The sharded, fault-tolerant grid executor.
+
+One call — :func:`execute_jobs` — takes a batch of independent grid
+cells and returns their :class:`~repro.sim.stats.RunStats` in input
+order, bit-identical to a fresh serial loop.  What happens in between is
+where the wall-clock goes:
+
+* **Store short-circuit.**  Cells already in the
+  :class:`~repro.grid.store.ResultStore` are served without executing
+  anything — a warm campaign is a sequence of dictionary lookups.
+
+* **Cost-model ordering.**  Missing cells are dispatched longest-first.
+  The dominant cost of a cell is its collection count, and collections
+  scale with ``allocated bytes / heap size``, so small heaps run longest;
+  scheduling them first keeps the tail of a parallel batch from idling
+  behind one straggler (static ``pool.map`` chunking, which this
+  replaces, regularly parked the longest cell last).
+
+* **As-completed dispatch.**  Each cell is its own future; results are
+  checkpointed into the store *as they finish*, so an interrupted
+  campaign has lost nothing but the cells still in flight.
+
+* **Fault tolerance.**  Worker-side exceptions are caught in the worker
+  and retried up to ``retries`` times; a worker *crash* (hard exit — the
+  pool is broken) falls back to executing the remaining cells serially
+  in-process, each isolated, so one poison cell records a failure
+  instead of losing the batch.  Permanently failed cells yield
+  synthesised ``completed=False`` stats (``failure="grid: ..."``) and a
+  :class:`GridFailure` record; they are never written to the store.
+
+* **Progress events.**  With a ``bus``, every cell emits a ``grid.job``
+  telemetry event (``status`` ∈ cached/done/failed/retry) so campaign
+  progress is observable like any other run telemetry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sim.stats import RunStats
+from .store import ResultStore, cell_key
+
+#: One grid cell: (benchmark, collector, heap_bytes, scale, seed) — the
+#: same shape as :data:`repro.harness.runner.RunJob`.
+Job = Tuple[str, str, int, float, int]
+
+
+@dataclass
+class GridFailure:
+    """One cell the executor could not complete, after retries."""
+
+    job: Job
+    error: str
+    attempts: int
+
+
+@dataclass
+class GridReport:
+    """Everything one :func:`execute_jobs` call did."""
+
+    #: Stats per job, in **input** order (failed cells: synthesised
+    #: ``completed=False`` stats whose ``failure`` starts with ``grid:``).
+    results: List[RunStats] = field(default_factory=list)
+    #: Jobs actually executed this call (store misses), in dispatch order.
+    executed: List[Job] = field(default_factory=list)
+    #: Number of cells served straight from the store.
+    cached: int = 0
+    #: Worker-side retries performed (exceptions and crash recoveries).
+    retries: int = 0
+    #: Cells abandoned after exhausting retries.
+    failures: List[GridFailure] = field(default_factory=list)
+    #: How the missing cells ran: ``"parallel"``, ``"serial"``, or
+    #: ``"none"`` when the store served everything.
+    execution_mode: str = "none"
+    wall_s: float = 0.0
+
+
+def _default_runner(job: Job) -> RunStats:
+    from ..harness.runner import _run_job
+
+    return _run_job(job)
+
+
+def _guarded(runner: Optional[Callable[[Job], RunStats]], job: Job):
+    """Worker-side wrapper: exceptions become values, not pool poison."""
+    try:
+        return "ok", (runner or _default_runner)(job)
+    except BaseException as error:  # noqa: BLE001 - isolate the cell
+        return "error", f"{type(error).__name__}: {error}"
+
+
+def _cost_estimate(job: Job) -> float:
+    """Relative expected runtime of one cell: collections dominate, and
+    collections scale with total allocation over heap size."""
+    benchmark, _collector, heap_bytes, scale, _seed = job
+    try:
+        from ..bench.spec import get_spec
+
+        alloc = get_spec(benchmark, scale).total_alloc_bytes
+    except Exception:  # unknown spec: schedule it like a mid-size cell
+        alloc = 64 * 1024
+    return alloc / max(1, heap_bytes)
+
+
+def _failed_stats(job: Job, error: str) -> RunStats:
+    benchmark, collector, heap_bytes, _scale, _seed = job
+    return RunStats(
+        benchmark=benchmark,
+        collector=str(collector),
+        heap_bytes=heap_bytes,
+        completed=False,
+        failure=f"grid: {error}",
+    )
+
+
+class _Emitter:
+    """``grid.job`` events on an optional telemetry bus; time is the
+    dispatch sequence number (grid events are host-side, not simulated)."""
+
+    def __init__(self, bus):
+        self.bus = bus
+        self.seq = 0
+
+    def emit(self, job: Job, key: str, status: str, attempt: int = 0) -> None:
+        self.seq += 1
+        if self.bus is None:
+            return
+        benchmark, collector, heap_bytes, scale, seed = job
+        self.bus.emit(
+            "grid.job",
+            float(self.seq),
+            {
+                "benchmark": benchmark,
+                "collector": str(collector),
+                "heap_bytes": heap_bytes,
+                "scale": scale,
+                "seed": seed,
+                "key": key,
+                "status": status,
+                "attempt": attempt,
+            },
+        )
+
+
+def execute_jobs(
+    jobs: Sequence[Job],
+    *,
+    store: Optional[ResultStore] = None,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+    retries: int = 1,
+    bus=None,
+    cell_runner: Optional[Callable[[Job], RunStats]] = None,
+    force_pool: bool = False,
+) -> GridReport:
+    """Run a batch of grid cells through the store and the executor.
+
+    ``parallel=None`` (the default) and ``True`` both defer to
+    :func:`repro.harness.runner.should_parallelise` — a pool is used only
+    when it can pay for itself; ``False`` forces the in-process loop.
+    ``cell_runner`` replaces the real run for tests (must be a picklable
+    module-level callable when a pool is involved).  ``force_pool``
+    bypasses the single-CPU veto so the pool path stays testable on
+    one-core runners; real callers never need it.
+    """
+    from ..harness.runner import effective_workers, should_parallelise
+
+    t0 = time.perf_counter()
+    jobs = [tuple(job) for job in jobs]
+    report = GridReport(results=[None] * len(jobs))
+    emitter = _Emitter(bus)
+
+    keys: List[Optional[str]] = []
+    for job in jobs:
+        benchmark, collector, heap_bytes, scale, seed = job
+        # Non-string collector specs have no canonical fingerprint; they
+        # execute uncached rather than risking key aliasing.
+        if isinstance(collector, str):
+            keys.append(cell_key(benchmark, collector, heap_bytes, scale, seed))
+        else:
+            keys.append(None)
+
+    missing: List[int] = []
+    for i, (job, key) in enumerate(zip(jobs, keys)):
+        cached = store.get(key) if (store is not None and key is not None) else None
+        if cached is not None:
+            report.results[i] = cached
+            report.cached += 1
+            emitter.emit(job, key, "cached")
+        else:
+            missing.append(i)
+
+    if not missing:
+        report.wall_s = time.perf_counter() - t0
+        return report
+
+    # Longest-first dispatch order (ties broken by input order so the
+    # serial path remains deterministic).
+    missing.sort(key=lambda i: (-_cost_estimate(jobs[i]), i))
+
+    use_pool = force_pool or (
+        parallel is not False
+        and should_parallelise(len(missing), True, max_workers)
+    )
+    report.execution_mode = "parallel" if use_pool else "serial"
+
+    def finish(i: int, stats: RunStats) -> None:
+        report.results[i] = stats
+        report.executed.append(jobs[i])
+        if store is not None and keys[i] is not None:
+            store.put(keys[i], stats)
+        emitter.emit(jobs[i], keys[i] or "", "done")
+
+    def run_serially(indices: List[int], attempts: Dict[int, int]) -> None:
+        for i in indices:
+            while True:
+                status, value = _guarded(cell_runner, jobs[i])
+                if status == "ok":
+                    finish(i, value)
+                    break
+                attempts[i] = attempts.get(i, 0) + 1
+                if attempts[i] > retries:
+                    report.failures.append(
+                        GridFailure(jobs[i], value, attempts[i])
+                    )
+                    report.results[i] = _failed_stats(jobs[i], value)
+                    emitter.emit(jobs[i], keys[i] or "", "failed", attempts[i])
+                    break
+                report.retries += 1
+                emitter.emit(jobs[i], keys[i] or "", "retry", attempts[i])
+
+    attempts: Dict[int, int] = {}
+    if not use_pool:
+        run_serially(missing, attempts)
+    else:
+        # Imported lazily: worker processes re-importing this module must
+        # not pay for (or recursively trigger) executor machinery.
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        workers = effective_workers(max_workers) if not force_pool else (
+            max_workers or 2
+        )
+        unfinished = list(missing)
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_guarded, cell_runner, jobs[i]): i
+                    for i in unfinished
+                }
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        i = futures[future]
+                        status, value = future.result()
+                        if status == "ok":
+                            finish(i, value)
+                            unfinished.remove(i)
+                        else:
+                            attempts[i] = attempts.get(i, 0) + 1
+                            if attempts[i] > retries:
+                                report.failures.append(
+                                    GridFailure(jobs[i], value, attempts[i])
+                                )
+                                report.results[i] = _failed_stats(jobs[i], value)
+                                emitter.emit(
+                                    jobs[i], keys[i] or "", "failed", attempts[i]
+                                )
+                                unfinished.remove(i)
+                            else:
+                                report.retries += 1
+                                emitter.emit(
+                                    jobs[i], keys[i] or "", "retry", attempts[i]
+                                )
+                                retry = pool.submit(_guarded, cell_runner, jobs[i])
+                                futures[retry] = i
+                                pending.add(retry)
+        except BrokenProcessPool:
+            # A worker died hard (segfault, os._exit): every in-flight
+            # future is lost but nothing already checkpointed is.  Finish
+            # the remaining cells in-process, each isolated, charging one
+            # retry to each — the poison cell fails alone, the rest land.
+            report.retries += len(unfinished)
+            for i in unfinished:
+                attempts[i] = attempts.get(i, 0) + 1
+                emitter.emit(jobs[i], keys[i] or "", "retry", attempts[i])
+            run_serially(unfinished, attempts)
+
+    if store is not None and report.executed:
+        store.rebuild_index()
+    report.wall_s = time.perf_counter() - t0
+    return report

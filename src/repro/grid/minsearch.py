@@ -1,0 +1,182 @@
+"""Minimum-heap search as a resumable state machine, batched across targets.
+
+The paper's "smallest heap in which the program completes" (§4.1) is a
+doubling-then-bisection search over heap sizes at frame granularity.
+Each individual search is inherently sequential — every probe depends on
+the last — but a campaign needs *many* searches (one per benchmark, per
+collector, per scale), and those are independent.  :func:`find_min_heaps`
+runs them as coupled state machines: every round collects one probe per
+still-active search, executes the whole round as one grid batch (through
+the store and the parallel executor), and feeds the outcomes back.  Six
+benchmarks' bisections therefore fan out together instead of running six
+serial O(log n) ladders — and with a warm store, replay without a single
+run.
+
+The probe sequence of each search is exactly the sequential algorithm's
+(:func:`repro.harness.runner.find_min_heap` delegates here with a single
+target), so the returned minima are identical by construction:
+
+* Phase ``double``: double from the start guess until a heap completes.
+* Phase ``down`` (start guess already completed): bisect *downward* for
+  the smallest completing multiple of :data:`FRAME_BYTES` — O(log n)
+  probes where the old one-frame-at-a-time walk burned one full run per
+  frame.  Under the same monotonicity assumption the bisection phase has
+  always made, the result equals the linear walk's.
+* Phase ``bisect``: the classic upward bisection between the last
+  failure and the first success.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import OutOfMemory
+from .executor import execute_jobs
+from .store import ResultStore
+
+#: One search target: (benchmark, collector).
+Target = Tuple[str, str]
+
+
+def _round_frames(nbytes: int, frame_bytes: int) -> int:
+    return max(2 * frame_bytes, (nbytes // frame_bytes) * frame_bytes)
+
+
+class _Search:
+    """One doubling/bisection search, driven probe by probe.
+
+    ``probe()`` names the next heap size to test (``None`` when done);
+    ``feed(completed)`` consumes the outcome and advances the state.
+    """
+
+    def __init__(self, lo: int, max_bytes: int, frame_bytes: int):
+        self.frame = frame_bytes
+        self.max_bytes = max_bytes
+        self.start = lo
+        self.phase = "double"
+        self.lo = lo  # in double/bisect: highest known-failing heap
+        self.hi = lo  # lowest known-completing heap (once one exists)
+        self.result: Optional[int] = None
+        self.failed = False
+        self._pending: Optional[int] = None
+
+    # -- probe selection, one per phase --------------------------------
+    def probe(self) -> Optional[int]:
+        if self.result is not None or self.failed:
+            return None
+        if self.phase == "double":
+            self._pending = self.hi
+        elif self.phase == "down":
+            # Invariant: hi completes; everything at or below lo fails
+            # (lo starts one frame below the 2-frame floor, a virtual
+            # failure — heaps smaller than two frames cannot exist).
+            if self.hi - self.lo <= self.frame:
+                self.result = self.hi
+                return None
+            mid = ((self.lo + self.hi) // 2 // self.frame) * self.frame
+            mid = max(mid, self.lo + self.frame)
+            if mid >= self.hi:
+                self.result = self.hi
+                return None
+            self._pending = mid
+        else:  # bisect (upward): lo fails, hi completes
+            if self.hi - self.lo <= self.frame:
+                self.result = self.hi
+                return None
+            mid = _round_frames((self.lo + self.hi) // 2, self.frame)
+            if mid in (self.lo, self.hi):
+                self.result = self.hi
+                return None
+            self._pending = mid
+        return self._pending
+
+    # -- outcome consumption -------------------------------------------
+    def feed(self, completed: bool) -> None:
+        heap = self._pending
+        self._pending = None
+        if self.phase == "double":
+            if completed:
+                if heap == self.start:
+                    # The start guess may already sit above the minimum:
+                    # bisect down to the smallest completing heap.
+                    self.phase = "down"
+                    self.lo = 2 * self.frame - self.frame
+                    self.hi = heap
+                else:
+                    self.phase = "bisect"
+                    self.lo = heap // 2
+                    self.hi = heap
+            else:
+                doubled = heap * 2
+                if doubled > self.max_bytes:
+                    self.failed = True
+                else:
+                    self.hi = doubled
+        elif self.phase == "down":
+            if completed:
+                self.hi = heap
+            else:
+                self.lo = heap
+        else:  # bisect
+            if completed:
+                self.hi = heap
+            else:
+                self.lo = heap
+
+
+def find_min_heaps(
+    targets: Sequence[Target],
+    scale: float = 1.0,
+    seed: int = 13,
+    start_bytes: Optional[int] = None,
+    max_bytes: int = 4 * 1024 * 1024,
+    *,
+    store: Optional[ResultStore] = None,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+    bus=None,
+) -> Dict[Target, int]:
+    """Minimum heaps for many (benchmark, collector) targets at once.
+
+    Returns ``{(benchmark, collector): min_heap_bytes}``.  Probe runs go
+    through :func:`repro.grid.executor.execute_jobs`, so a store serves
+    previously computed probes and each round's probes (one per active
+    search) execute in parallel.  Raises :class:`OutOfMemory` naming the
+    first target for which no heap up to ``max_bytes`` completes.
+    """
+    from ..bench.spec import get_spec
+    from ..harness.runner import FRAME_BYTES
+
+    searches: Dict[Target, _Search] = {}
+    for benchmark, collector in targets:
+        spec = get_spec(benchmark, scale)
+        lo = start_bytes or max(4 * FRAME_BYTES, spec.total_alloc_bytes // 64)
+        lo = _round_frames(lo, FRAME_BYTES)
+        searches[(benchmark, collector)] = _Search(lo, max_bytes, FRAME_BYTES)
+
+    while True:
+        round_targets: List[Target] = []
+        jobs = []
+        for target, search in searches.items():
+            heap = search.probe()
+            if heap is not None:
+                round_targets.append(target)
+                jobs.append((target[0], target[1], heap, scale, seed))
+        if not jobs:
+            break
+        report = execute_jobs(
+            jobs,
+            store=store,
+            parallel=parallel,
+            max_workers=max_workers,
+            bus=bus,
+        )
+        for target, stats in zip(round_targets, report.results):
+            searches[target].feed(stats.completed)
+
+    for (benchmark, collector), search in searches.items():
+        if search.failed:
+            raise OutOfMemory(
+                f"{benchmark}/{collector}: no heap up to {max_bytes} bytes works"
+            )
+    return {target: search.result for target, search in searches.items()}

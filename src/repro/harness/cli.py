@@ -44,6 +44,28 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_grid(parser: argparse.ArgumentParser) -> None:
+    """Grid-campaign flags for the commands that execute cell batches."""
+    parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="content-addressed result store: previously computed cells "
+        "are served from here and fresh ones checkpointed as they finish",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help="ignore --store and recompute every cell",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign from --store (only the "
+        "missing cells execute; requires --store)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="cap the worker processes of parallel batches",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="beltway-bench",
@@ -118,17 +140,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_min.add_argument("--benchmark", required=True, choices=BENCHMARK_NAMES)
     p_min.add_argument("--collector", default="gctk:Appel")
     _add_common(p_min)
+    _add_grid(p_min)
 
     p_exp = sub.add_parser("experiment", help="reproduce one table/figure")
     p_exp.add_argument("name", choices=sorted(ALL_EXPERIMENTS))
     p_exp.add_argument("--points", type=int, default=9, help="heap grid points")
     p_exp.add_argument("--full", action="store_true", help="use the paper's 33-point grid")
     _add_common(p_exp)
+    _add_grid(p_exp)
 
     p_all = sub.add_parser("all", help="reproduce every table and figure")
     p_all.add_argument("--points", type=int, default=9)
     p_all.add_argument("--full", action="store_true")
     _add_common(p_all)
+    _add_grid(p_all)
 
     p_rep = sub.add_parser("report", help="write a full markdown report")
     p_rep.add_argument("--output", default="beltway-report.md")
@@ -139,7 +164,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to these experiments",
     )
     _add_common(p_rep)
+    _add_grid(p_rep)
     return parser
+
+
+def _open_store(parser: argparse.ArgumentParser, args):
+    """Resolve the grid flags of one invocation to a ResultStore (or None)
+    and point the experiment layer at it."""
+    if not hasattr(args, "store"):
+        return None
+    if args.resume and not args.store:
+        parser.error("--resume requires --store (there is nothing to resume from)")
+    store = None
+    if args.store and not args.no_store:
+        from ..grid.store import ResultStore
+
+        store = ResultStore(args.store)
+    from . import experiments
+
+    experiments.configure_grid(store=store, max_workers=args.workers)
+    return store
+
+
+def _finish_grid(store, code: int) -> int:
+    """Close the store, print the campaign summary, pass the exit code on."""
+    if store is not None:
+        store.close()
+        summary = f"grid: {store.hits} cached, {store.puts} executed"
+        if store.corrupt_entries:
+            summary += f", {store.corrupt_entries} corrupt entries recomputed"
+        print(summary)
+    return code
 
 
 def _run_experiment(name: str, points: int, scale: float) -> bool:
@@ -282,20 +337,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
             ok = ok and report.completed and sanitizer.ok
         return 0 if ok else 1
+    store = _open_store(parser, args)
     if args.command == "minheap":
         minimum = find_min_heap(
-            args.benchmark, args.collector, scale=args.scale, seed=args.seed
+            args.benchmark, args.collector, scale=args.scale, seed=args.seed,
+            store=store,
         )
         print(f"{args.benchmark}/{args.collector}: min heap = {minimum / KB:.1f}KB")
-        return 0
+        return _finish_grid(store, 0)
     points = 33 if getattr(args, "full", False) else args.points
     if args.command == "experiment":
-        return 0 if _run_experiment(args.name, points, args.scale) else 1
+        return _finish_grid(
+            store, 0 if _run_experiment(args.name, points, args.scale) else 1
+        )
     if args.command == "all":
         ok = True
         for name in ALL_EXPERIMENTS:
             ok = _run_experiment(name, points, args.scale) and ok
-        return 0 if ok else 1
+        return _finish_grid(store, 0 if ok else 1)
     if args.command == "report":
         from pathlib import Path
 
@@ -308,13 +367,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         except OSError as error:
             print(f"error: cannot write report: {error}", file=sys.stderr)
-            return 1
+            return _finish_grid(store, 1)
         failed = [n for n, r in results.items() if not r.all_checks_pass]
         print(f"wrote {args.output} ({len(results)} experiments)")
         if failed:
             print(f"FAILED shape checks in: {failed}")
-            return 1
-        return 0
+            return _finish_grid(store, 1)
+        return _finish_grid(store, 0)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -33,7 +33,7 @@ from ..bench.spec import BENCHMARK_NAMES, KB, get_spec
 from ..runtime.vm import VM
 from ..runtime.mutator import MutatorContext
 from ..bench.engine import SyntheticMutator
-from .runner import RunOptions, find_min_heap, run
+from .runner import RunOptions, find_min_heap, run, run_many
 
 #: The collector whose minimum heap defines each benchmark's 1.0x point,
 #: as in the paper ("minimum heap size in which an Appel-style collector
@@ -42,6 +42,26 @@ BASELINE = "gctk:Appel"
 
 _min_heap_cache: Dict[Tuple[str, float], int] = {}
 _sweep_cache: Dict[Tuple[str, str, int, float, int], SweepResult] = {}
+
+#: Grid settings every experiment routes its runs through: an optional
+#: :class:`~repro.grid.store.ResultStore` (cells served from disk and
+#: checkpointed as they finish), the parallel override, and the worker
+#: cap.  Set by :func:`configure_grid` (the CLI's ``--store``/``--workers``
+#: flags land here); the defaults are store-less auto-parallel.
+_grid: Dict[str, object] = {"store": None, "parallel": None, "max_workers": None}
+
+
+def configure_grid(store=None, parallel=None, max_workers=None) -> None:
+    """Route all experiment runs through ``store`` and these executor
+    settings (process-wide, like the caches; ``configure_grid()`` resets)."""
+    _grid["store"] = store
+    _grid["parallel"] = parallel
+    _grid["max_workers"] = max_workers
+
+
+def grid_store():
+    """The ResultStore experiments are currently routed through (or None)."""
+    return _grid["store"]
 
 
 @dataclass
@@ -66,16 +86,51 @@ class ExperimentResult:
 # ----------------------------------------------------------------------
 def _run_stats(benchmark: str, collector, heap_bytes: int, scale: float = 1.0):
     """One telemetry-free run; experiments only consume the stats."""
+    if isinstance(collector, str):
+        return _run_stats_many([(benchmark, collector, heap_bytes, scale, 13)])[0]
     return run(
         benchmark, collector, heap_bytes, options=RunOptions(scale=scale)
     ).stats
 
 
+def _run_stats_many(jobs):
+    """Batched telemetry-free runs through the grid executor: cells come
+    from the configured store when present and fan out together when the
+    pool pays for itself — bit-identical to per-cell :func:`_run_stats`."""
+    return run_many(
+        jobs,
+        parallel=_grid["parallel"],
+        max_workers=_grid["max_workers"],
+        store=_grid["store"],
+    )
+
+
 def min_heap(benchmark: str, scale: float = 1.0) -> int:
-    key = (benchmark, scale)
-    if key not in _min_heap_cache:
-        _min_heap_cache[key] = find_min_heap(benchmark, BASELINE, scale=scale)
-    return _min_heap_cache[key]
+    return min_heaps([benchmark], scale)[benchmark]
+
+
+def min_heaps(benchmarks: Sequence[str], scale: float = 1.0) -> Dict[str, int]:
+    """Baseline minimum heaps for many benchmarks, searched as one batch.
+
+    All still-unknown searches advance in lockstep — each round's probes
+    (one per benchmark) execute as a single grid batch, so six bisections
+    cost six serial ones only when running on one CPU with a cold store.
+    Results populate the same process-level cache :func:`min_heap` uses.
+    """
+    missing = [b for b in benchmarks if (b, scale) not in _min_heap_cache]
+    if missing:
+        from ..grid.minsearch import find_min_heaps
+
+        found = find_min_heaps(
+            [(b, BASELINE) for b in missing],
+            scale=scale,
+            store=_grid["store"],
+            parallel=_grid["parallel"],
+            max_workers=_grid["max_workers"],
+        )
+        for (benchmark, _collector), minimum in found.items():
+            _min_heap_cache[(benchmark, scale)] = minimum
+    return {b: _min_heap_cache[(b, scale)] for b in benchmarks}
 
 
 def cached_sweep(
@@ -90,6 +145,9 @@ def cached_sweep(
             heap_multipliers(points),
             scale=scale,
             seed=seed,
+            parallel=_grid["parallel"],
+            max_workers=_grid["max_workers"],
+            store=_grid["store"],
         )
     return _sweep_cache[key]
 
@@ -115,6 +173,7 @@ def _geomean_figure(
     "relative to best result (lower is better)" axes.
     """
     multipliers = heap_multipliers(points)
+    min_heaps(list(benchmarks), scale)  # fan the baseline searches out together
     per_collector: Dict[str, List[List[Optional[float]]]] = {c: [] for c in collectors}
     for benchmark in benchmarks:
         raw = {
@@ -163,11 +222,18 @@ def table1(scale: float = 1.0) -> ExperimentResult:
     rows = []
     data = {}
     checks = {}
-    for benchmark in BENCHMARK_NAMES:
+    minima = min_heaps(list(BENCHMARK_NAMES), scale)
+    stats = _run_stats_many(
+        [
+            (benchmark, BASELINE, heap, scale, 13)
+            for benchmark in BENCHMARK_NAMES
+            for heap in (minima[benchmark], 3 * minima[benchmark])
+        ]
+    )
+    for pair, benchmark in enumerate(BENCHMARK_NAMES):
         spec = get_spec(benchmark, scale)
-        minimum = min_heap(benchmark, scale)
-        small = _run_stats(benchmark, BASELINE, minimum, scale=scale)
-        large = _run_stats(benchmark, BASELINE, 3 * minimum, scale=scale)
+        minimum = minima[benchmark]
+        small, large = stats[2 * pair], stats[2 * pair + 1]
         paper = spec.paper
         rows.append(
             [
@@ -216,6 +282,7 @@ def table1(scale: float = 1.0) -> ExperimentResult:
 def figure1(points: int = 9, scale: float = 1.0) -> ExperimentResult:
     """(a) % time in GC vs heap size; (b) total time relative to best."""
     multipliers = heap_multipliers(points)
+    min_heaps(list(BENCHMARK_NAMES), scale)
     gc_fraction: Dict[str, List[Optional[float]]] = {}
     total_rel: Dict[str, List[Optional[float]]] = {}
     for benchmark in BENCHMARK_NAMES:
@@ -320,11 +387,13 @@ def figure4(scale: float = 1.0) -> ExperimentResult:
     barrier (the paper's separate statistics runs, §4.1)."""
     rows = []
     data = {}
-    heap = lambda b: 2 * min_heap(b, scale)  # noqa: E731
     configs = ["25.25.100", "Appel", "BOF.25", "gctk:Appel"]
     benchmark = "javac"
-    for config in configs:
-        stats = _run_stats(benchmark, config, heap(benchmark), scale=scale)
+    heap = 2 * min_heap(benchmark, scale)
+    all_stats = _run_stats_many(
+        [(benchmark, config, heap, scale, 13) for config in configs]
+    )
+    for config, stats in zip(configs, all_stats):
         slow_pct = 100.0 * stats.barrier_slow / max(1, stats.barrier_fast)
         rows.append(
             [
@@ -528,9 +597,12 @@ def figure8(points: int = 9, scale: float = 1.0) -> ExperimentResult:
     # cross-increment cycles, the complete configuration's falls back
     # towards the live set at its full top-belt collections.
     javac_min = min_heap("javac", scale)
-    xx = _run_stats("javac", "25.25", int(1.5 * javac_min), scale=scale)
-    complete = _run_stats(
-        "javac", "25.25.100", int(1.5 * javac_min), scale=scale
+    javac_heap = int(1.5 * javac_min)
+    xx, complete = _run_stats_many(
+        [
+            ("javac", "25.25", javac_heap, scale, 13),
+            ("javac", "25.25.100", javac_heap, scale, 13),
+        ]
     )
     floor_xx = xx.late_occupancy_floor()
     floor_complete = complete.late_occupancy_floor()
@@ -647,6 +719,7 @@ def figure10(points: int = 9, scale: float = 1.0) -> ExperimentResult:
     """Per-benchmark total execution time, the paper's six panels."""
     collectors = ["25.25.100", BASELINE, "gctk:Fixed.25"]
     multipliers = heap_multipliers(points)
+    min_heaps(list(BENCHMARK_NAMES), scale)
     sections = []
     data = {}
     checks = {}
@@ -711,12 +784,20 @@ def figure11(scale: float = 1.0) -> ExperimentResult:
     sections = []
     data = {}
     checks = {}
-    for label, ratio in (("small", 1.5), ("large", 3.0)):
+    sizes = (("small", 1.5), ("large", 3.0))
+    all_stats = _run_stats_many(
+        [
+            ("javac", collector, int(javac_min * ratio), scale, 13)
+            for _label, ratio in sizes
+            for collector in collectors
+        ]
+    )
+    for block, (label, ratio) in enumerate(sizes):
         heap = int(javac_min * ratio)
         curves = {}
         pauses = {}
-        for collector in collectors:
-            stats = _run_stats("javac", collector, heap, scale=scale)
+        for offset, collector in enumerate(collectors):
+            stats = all_stats[block * len(collectors) + offset]
             if not stats.completed:
                 continue
             intervals = stats.pause_intervals()
@@ -775,8 +856,10 @@ def responsiveness(scale: float = 1.0) -> ExperimentResult:
     heap = 2 * min_heap(benchmark, scale)
     rows = []
     data = {}
-    for collector in collectors:
-        stats = _run_stats(benchmark, collector, heap, scale=scale)
+    all_stats = _run_stats_many(
+        [(benchmark, collector, heap, scale, 13) for collector in collectors]
+    )
+    for collector, stats in zip(collectors, all_stats):
         if not stats.completed:
             rows.append([collector, "FAILED", "", "", ""])
             continue

@@ -17,9 +17,12 @@ to the pre-telemetry harness.  The old :func:`run_benchmark` /
 
 :func:`run_many` is the process-parallel fan-out behind the sweep layer:
 each (benchmark, collector, heap size) run is completely independent (its
-own VM, its own seeded PRNG), so farming the grid out to a
-``ProcessPoolExecutor`` returns *bit-identical* ``RunStats`` to the serial
-loop — same seeds, same cost-model cycles — just sooner.
+own VM, its own seeded PRNG), so farming the grid out over worker
+processes returns *bit-identical* ``RunStats`` to the serial loop — same
+seeds, same cost-model cycles — just sooner.  Dispatch lives in
+:mod:`repro.grid.executor` (as-completed scheduling, cost ordering,
+per-cell retry) and results can be served from / checkpointed into a
+:class:`repro.grid.store.ResultStore` via the ``store`` argument.
 """
 
 from __future__ import annotations
@@ -363,30 +366,34 @@ def should_parallelise(
 
 def run_many(
     jobs: Iterable[RunJob],
-    parallel: bool = True,
+    parallel: Optional[bool] = True,
     max_workers: Optional[int] = None,
+    store=None,
 ) -> List[RunStats]:
     """Run a batch of independent grid cells, in input order.
 
-    With ``parallel=True`` the jobs fan out over a
-    ``ProcessPoolExecutor`` — unless :func:`should_parallelise` vetoes it
-    (one job, or one effective CPU), in which case the batch silently
-    runs in-process.  ``parallel=False`` is the explicit escape hatch
-    (useful under debuggers, on platforms without ``fork``/``spawn``
-    headroom, or to rule the pool out when bisecting a bug).  All paths
-    return bit-identical results: every run re-derives its whole world
-    from ``(benchmark, collector, heap_bytes, scale, seed)``.
+    With ``parallel=True`` (or ``None``) the jobs fan out over worker
+    processes — unless :func:`should_parallelise` vetoes it (one job, or
+    one effective CPU), in which case the batch silently runs in-process.
+    ``parallel=False`` is the explicit escape hatch (useful under
+    debuggers, on platforms without ``fork``/``spawn`` headroom, or to
+    rule the pool out when bisecting a bug).  All paths return
+    bit-identical results: every run re-derives its whole world from
+    ``(benchmark, collector, heap_bytes, scale, seed)``.
+
+    Dispatch is :func:`repro.grid.executor.execute_jobs`: as-completed
+    scheduling with cost-model ordering and per-cell crash retry, and —
+    with a :class:`~repro.grid.store.ResultStore` as ``store`` — cells
+    already computed by *any* previous process are served from disk while
+    fresh results are checkpointed as they finish.
     """
-    jobs = list(jobs)
-    if not should_parallelise(len(jobs), parallel, max_workers):
-        return [_run_job(job) for job in jobs]
     # Imported lazily: worker processes re-importing this module must not
     # pay for (or recursively trigger) executor machinery.
-    from concurrent.futures import ProcessPoolExecutor
+    from ..grid.executor import execute_jobs
 
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        chunksize = max(1, len(jobs) // (4 * (pool._max_workers or 1)))
-        return list(pool.map(_run_job, jobs, chunksize=chunksize))
+    return execute_jobs(
+        list(jobs), store=store, parallel=parallel, max_workers=max_workers
+    ).results
 
 
 def find_min_heap(
@@ -396,41 +403,26 @@ def find_min_heap(
     seed: int = 13,
     start_bytes: Optional[int] = None,
     max_bytes: int = 4 * 1024 * 1024,
+    store=None,
 ) -> int:
-    """Smallest heap (bytes, frame granularity) where the run completes."""
-    spec = get_spec(benchmark, scale)
-    lo = start_bytes or max(4 * FRAME_BYTES, spec.total_alloc_bytes // 64)
-    lo = _round_frames(lo)
-    options = RunOptions(scale=scale, seed=seed)
+    """Smallest heap (bytes, frame granularity) where the run completes.
 
-    def completes(heap_bytes: int) -> bool:
-        return run(benchmark, collector, heap_bytes, options=options).completed
+    The doubling/bisection state machine lives in
+    :mod:`repro.grid.minsearch`; this is the single-target convenience.
+    Batch many searches with :func:`repro.grid.find_min_heaps` so their
+    probes fan out together, and pass a store to make replays free.
+    The walk below an already-completing start guess bisects downward
+    (O(log n) probes) instead of stepping one frame per full run; the
+    returned minimum is unchanged.
+    """
+    from ..grid.minsearch import find_min_heaps
 
-    # Phase 1: double until success.
-    hi = lo
-    while not completes(hi):
-        hi *= 2
-        if hi > max_bytes:
-            raise OutOfMemory(
-                f"{benchmark}/{collector}: no heap up to {max_bytes} bytes works"
-            )
-    if hi == lo:
-        # Walk down: lo may already be above the minimum.
-        while lo > 2 * FRAME_BYTES and completes(lo - FRAME_BYTES):
-            lo -= FRAME_BYTES
-        return lo
-    # Phase 2: bisect (lo fails, hi works) to frame granularity.
-    lo = hi // 2
-    while hi - lo > FRAME_BYTES:
-        mid = _round_frames((lo + hi) // 2)
-        if mid in (lo, hi):
-            break
-        if completes(mid):
-            hi = mid
-        else:
-            lo = mid
-    return hi
-
-
-def _round_frames(nbytes: int) -> int:
-    return max(2 * FRAME_BYTES, (nbytes // FRAME_BYTES) * FRAME_BYTES)
+    return find_min_heaps(
+        [(benchmark, collector)],
+        scale=scale,
+        seed=seed,
+        start_bytes=start_bytes,
+        max_bytes=max_bytes,
+        store=store,
+        parallel=False,  # a single search is sequential by nature
+    )[(benchmark, collector)]

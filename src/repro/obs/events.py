@@ -110,6 +110,22 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "died_bytes": _NUM,
         "survivor_fraction": _NUM,
     },
+    # Grid executor: one cell of a campaign changed state.  ``status`` is
+    # ``cached`` (served from the result store), ``done`` (executed and
+    # checkpointed), ``retry`` (worker exception or crash, re-dispatched)
+    # or ``failed`` (retries exhausted; recorded, batch continues).
+    # ``time`` is the dispatch sequence number — grid events are
+    # host-side orchestration, not simulated-clock phenomena.
+    "grid.job": {
+        "benchmark": (str,),
+        "collector": (str,),
+        "heap_bytes": _NUM,
+        "scale": _NUM,
+        "seed": _NUM,
+        "key": (str,),
+        "status": (str,),
+        "attempt": _NUM,
+    },
     # Profiler: one heap-geometry sample — per-label [frames, words]
     # occupancy at a collection boundary or periodic snapshot.
     "profiler.geometry": {

@@ -33,7 +33,7 @@ def test_all_exports_resolve(package):
 
 
 def test_version():
-    assert repro.__version__ == "1.3.0"
+    assert repro.__version__ == "1.4.0"
 
 
 def test_stable_run_surface():
