@@ -56,9 +56,9 @@ def _measure():
 def _min_heap_for(config) -> int:
     """find_min_heap for a BeltwayConfig object (not just a name)."""
     from repro.harness.runner import FRAME_BYTES
-    from repro.bench.spec import get_spec
+    from repro.bench.spec import benchmark_spec
 
-    spec = get_spec(BENCHMARK, SCALE)
+    spec = benchmark_spec(BENCHMARK, SCALE)
     lo = max(4 * FRAME_BYTES, spec.total_alloc_bytes // 64)
     lo = (lo // FRAME_BYTES) * FRAME_BYTES
 

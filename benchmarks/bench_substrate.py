@@ -34,7 +34,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis.sweep import heap_multipliers, sweep  # noqa: E402
 from repro.bench.engine import SyntheticMutator  # noqa: E402
-from repro.bench.spec import get_spec  # noqa: E402
+from repro.bench.spec import benchmark_spec  # noqa: E402
 from repro.core.remset import RememberedSets  # noqa: E402
 from repro.harness.runner import RunOptions, run as run_cell  # noqa: E402
 from repro.heap.objectmodel import ObjectModel, TypeRegistry  # noqa: E402
@@ -313,7 +313,7 @@ def bench_telemetry(quick: bool) -> dict:
     rounds = 5 if quick else 9
 
     def run_raw():
-        spec = get_spec(benchmark, scale)
+        spec = benchmark_spec(benchmark, scale)
         vm = VM(heap, collector="25.25.100", locality=spec.locality,
                 benchmark_name=spec.name)
         SyntheticMutator(vm, spec, seed=seed).run()
@@ -380,7 +380,7 @@ def bench_sanitizer(quick: bool) -> dict:
     rounds = 3 if quick else 5
 
     def run_raw():
-        spec = get_spec(benchmark, scale)
+        spec = benchmark_spec(benchmark, scale)
         vm = VM(heap, collector="25.25.100", locality=spec.locality,
                 benchmark_name=spec.name)
         SyntheticMutator(vm, spec, seed=seed).run()
@@ -446,7 +446,7 @@ def bench_profiler(quick: bool) -> dict:
     rounds = 3 if quick else 5
 
     def run_raw():
-        spec = get_spec(benchmark, scale)
+        spec = benchmark_spec(benchmark, scale)
         vm = VM(heap, collector="25.25.100", locality=spec.locality,
                 benchmark_name=spec.name)
         SyntheticMutator(vm, spec, seed=seed).run()

@@ -33,7 +33,13 @@ The five names most users need are re-exported here:
   on-disk result store and the batched minimum-heap search
   (:mod:`repro.grid`): pass ``store=ResultStore(path)`` to any of the
   above and reruns replay from disk instead of recomputing;
-* :func:`attach_tracer` — event tracing for a hand-built :class:`VM`.
+* :func:`attach_tracer` — event tracing for a hand-built :class:`VM`;
+* :func:`load_spec` / :func:`load_workload` — unified spec acquisition
+  (:mod:`repro.specs`): one loader resolving benchmark names, declarative
+  ``.json``/``.yaml`` workload files and spec objects, used by every entry
+  point above.  Server workloads (:class:`ServerWorkloadSpec`,
+  :mod:`repro.workloads`) run open-loop and report request-latency
+  percentiles (:class:`RequestStats`) alongside :class:`RunStats`.
 
 Quick start::
 
@@ -99,8 +105,16 @@ from .sanitizer import (
 )
 from .sim.stats import RunStats
 from .sim.trace import Tracer, attach_tracer
+from .specs import fingerprint, load as load_spec
+from .workloads import (
+    ArrivalSpec,
+    RequestStats,
+    RequestTask,
+    ServerWorkloadSpec,
+    load_file as load_workload,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # consolidated run API
@@ -110,6 +124,14 @@ __all__ = [
     "find_min_heap",
     "RunOptions",
     "RunReport",
+    # unified spec acquisition + server workloads
+    "load_spec",
+    "fingerprint",
+    "load_workload",
+    "ServerWorkloadSpec",
+    "RequestTask",
+    "ArrivalSpec",
+    "RequestStats",
     # grid store + batched search
     "ResultStore",
     "cell_key",

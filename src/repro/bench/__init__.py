@@ -8,7 +8,14 @@ from .engine import (
     WorkloadSpec,
 )
 from .lifetime import DeathSchedule, LifetimeClass
-from .spec import BENCHMARK_NAMES, KB, all_specs, canonical_name, get_spec
+from .spec import (
+    BENCHMARK_NAMES,
+    KB,
+    all_specs,
+    benchmark_spec,
+    canonical_name,
+    get_spec,
+)
 
 __all__ = [
     "AllocSite",
@@ -21,6 +28,7 @@ __all__ = [
     "Table1Row",
     "WorkloadSpec",
     "all_specs",
+    "benchmark_spec",
     "canonical_name",
     "get_spec",
 ]

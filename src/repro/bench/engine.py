@@ -41,6 +41,28 @@ STANDARD_TYPES: Tuple[Tuple[str, int, int], ...] = (
     ("big", 4, 9),  # 16 words / 64 B — records, transaction objects
 )
 
+#: Type names a declarative workload may allocate from (the standard
+#: vocabulary plus the two array shapes every VM defines).
+WORKLOAD_TYPE_NAMES: Tuple[str, ...] = ("small", "node", "big", "refarr", "buf")
+
+
+def ensure_standard_types(vm: VM) -> None:
+    """Define the shared object vocabulary on ``vm`` (idempotent).
+
+    Both mutator engines — the closed-loop :class:`SyntheticMutator` and
+    the request-driven server engine (:mod:`repro.workloads.engine`) —
+    allocate from this vocabulary, so their workload specs are portable
+    across engines.
+    """
+    existing = {d.name for d in vm.types}
+    for name, nrefs, nscalars in STANDARD_TYPES:
+        if name not in existing:
+            vm.define_type(name, nrefs=nrefs, nscalars=nscalars)
+    if "refarr" not in existing:
+        vm.define_ref_array("refarr")
+    if "buf" not in existing:
+        vm.define_scalar_array("buf")
+
 
 @dataclass(frozen=True)
 class AllocSite:
@@ -175,14 +197,7 @@ class SyntheticMutator:
 
     # ------------------------------------------------------------------
     def _ensure_types(self) -> None:
-        existing = {d.name for d in self.vm.types}
-        for name, nrefs, nscalars in STANDARD_TYPES:
-            if name not in existing:
-                self.vm.define_type(name, nrefs=nrefs, nscalars=nscalars)
-        if "refarr" not in existing:
-            self.vm.define_ref_array("refarr")
-        if "buf" not in existing:
-            self.vm.define_scalar_array("buf")
+        ensure_standard_types(self.vm)
 
     # ------------------------------------------------------------------
     # Allocation helpers

@@ -61,7 +61,7 @@ def canonical_name(name: str) -> str:
     return token
 
 
-def get_spec(name: str, scale: float = 1.0) -> WorkloadSpec:
+def benchmark_spec(name: str, scale: float = 1.0) -> WorkloadSpec:
     """The WorkloadSpec for ``name``; ``scale`` shortens the run (tests)."""
     spec = _registry()[canonical_name(name)]()
     if scale != 1.0:
@@ -69,5 +69,19 @@ def get_spec(name: str, scale: float = 1.0) -> WorkloadSpec:
     return spec
 
 
+def get_spec(name: str, scale: float = 1.0) -> WorkloadSpec:
+    """Deprecated: use :func:`repro.specs.load` (any ref kind) or
+    :func:`benchmark_spec` (registry names only)."""
+    import warnings
+
+    warnings.warn(
+        "get_spec() is deprecated; use repro.specs.load(ref) — it also "
+        "resolves workload files and spec objects",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return benchmark_spec(name, scale)
+
+
 def all_specs(scale: float = 1.0) -> List[WorkloadSpec]:
-    return [get_spec(name, scale) for name in BENCHMARK_NAMES]
+    return [benchmark_spec(name, scale) for name in BENCHMARK_NAMES]

@@ -113,10 +113,10 @@ def measure_benchmark(
 ) -> Demographics:
     """Run ``benchmark`` and return its measured demographics."""
     from ..bench.engine import SyntheticMutator
-    from ..bench.spec import get_spec
+    from ..bench.spec import benchmark_spec
     from ..harness.runner import find_min_heap
 
-    spec = get_spec(benchmark, scale)
+    spec = benchmark_spec(benchmark, scale)
     minimum = find_min_heap(benchmark, "gctk:Appel", scale=scale)
     vm = VM(
         int(heap_multiple * minimum),

@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..errors import ReproError
 from ..sim.stats import RunStats
 from .store import ResultStore, cell_key
 
@@ -96,9 +97,9 @@ def _cost_estimate(job: Job) -> float:
     collections scale with total allocation over heap size."""
     benchmark, _collector, heap_bytes, scale, _seed = job
     try:
-        from ..bench.spec import get_spec
+        from ..specs import load as load_spec
 
-        alloc = get_spec(benchmark, scale).total_alloc_bytes
+        alloc = load_spec(benchmark, scale).total_alloc_bytes
     except Exception:  # unknown spec: schedule it like a mid-size cell
         alloc = 64 * 1024
     return alloc / max(1, heap_bytes)
@@ -106,6 +107,8 @@ def _cost_estimate(job: Job) -> float:
 
 def _failed_stats(job: Job, error: str) -> RunStats:
     benchmark, collector, heap_bytes, _scale, _seed = job
+    if not isinstance(benchmark, str):
+        benchmark = getattr(benchmark, "name", str(benchmark))
     return RunStats(
         benchmark=benchmark,
         collector=str(collector),
@@ -132,7 +135,9 @@ class _Emitter:
             "grid.job",
             float(self.seq),
             {
-                "benchmark": benchmark,
+                "benchmark": benchmark
+                if isinstance(benchmark, str)
+                else getattr(benchmark, "name", str(benchmark)),
                 "collector": str(collector),
                 "heap_bytes": heap_bytes,
                 "scale": scale,
@@ -175,12 +180,17 @@ def execute_jobs(
     keys: List[Optional[str]] = []
     for job in jobs:
         benchmark, collector, heap_bytes, scale, seed = job
-        # Non-string collector specs have no canonical fingerprint; they
-        # execute uncached rather than risking key aliasing.
+        # Non-string collector specs and unfingerprintable workload refs
+        # (hand-built WorkloadSpec objects, unreadable files) have no
+        # canonical identity; they execute uncached rather than risking
+        # key aliasing.
+        key = None
         if isinstance(collector, str):
-            keys.append(cell_key(benchmark, collector, heap_bytes, scale, seed))
-        else:
-            keys.append(None)
+            try:
+                key = cell_key(benchmark, collector, heap_bytes, scale, seed)
+            except ReproError:
+                key = None
+        keys.append(key)
 
     missing: List[int] = []
     for i, (job, key) in enumerate(zip(jobs, keys)):

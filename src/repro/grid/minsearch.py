@@ -144,12 +144,12 @@ def find_min_heaps(
     search) execute in parallel.  Raises :class:`OutOfMemory` naming the
     first target for which no heap up to ``max_bytes`` completes.
     """
-    from ..bench.spec import get_spec
     from ..harness.runner import FRAME_BYTES
+    from ..specs import load as load_spec
 
     searches: Dict[Target, _Search] = {}
     for benchmark, collector in targets:
-        spec = get_spec(benchmark, scale)
+        spec = load_spec(benchmark, scale)
         lo = start_bytes or max(4 * FRAME_BYTES, spec.total_alloc_bytes // 64)
         lo = _round_frames(lo, FRAME_BYTES)
         searches[(benchmark, collector)] = _Search(lo, max_bytes, FRAME_BYTES)

@@ -48,7 +48,8 @@ from ..sim.clock import PauseRecord
 from ..sim.stats import RunStats
 
 #: Bump on any change to the serialised form or to what a run means.
-STORE_FORMAT_VERSION = 1
+#: v2: RunStats grew the ``requests`` field (server-workload latency).
+STORE_FORMAT_VERSION = 2
 
 _INDEX_NAME = "index.json"
 _SHARD_GLOB = "cells-*.jsonl"
@@ -63,7 +64,7 @@ def _resolved_tier(tier: Optional[str]) -> str:
 
 
 def cell_key(
-    benchmark: str,
+    benchmark,
     collector: str,
     heap_bytes: int,
     scale: float,
@@ -72,15 +73,33 @@ def cell_key(
 ) -> str:
     """Deterministic fingerprint of one grid cell.
 
+    ``benchmark`` is any spec ref :func:`repro.specs.load` accepts; its
+    identity component comes from :func:`repro.specs.fingerprint`, so
+    file-based workloads are keyed by *content digest*: editing a YAML
+    invalidates its cells, renaming or moving the file does not, and a
+    spec object equal to the file's content shares the file's cells.
+    Refs with no canonical identity (hand-built ``WorkloadSpec`` objects)
+    raise :class:`~repro.errors.ConfigError` — the executor runs those
+    uncached.
+
     ``tier`` defaults to the tier the current process would resolve
     (``repro.kernels.resolve``), i.e. the tier the run would actually
     execute on.  ``scale`` is fingerprinted via ``repr(float(...))`` so
     ``0.4`` and ``0.40`` agree and the key survives JSON round trips.
     """
+    from ..errors import ConfigError
+    from ..specs import fingerprint
+
+    spec_id = fingerprint(benchmark)
+    if spec_id is None:
+        raise ConfigError(
+            f"workload ref {benchmark!r} has no canonical fingerprint; "
+            "grid cells for it cannot be cached"
+        )
     identity = json.dumps(
         {
             "format": STORE_FORMAT_VERSION,
-            "benchmark": benchmark,
+            "benchmark": spec_id,
             "collector": str(collector),
             "heap_bytes": int(heap_bytes),
             "scale": repr(float(scale)),
@@ -106,6 +125,12 @@ def stats_from_dict(payload: Dict) -> RunStats:
     """Inverse of :func:`stats_to_dict`."""
     data = dict(payload)
     data["pauses"] = [PauseRecord(**p) for p in payload.get("pauses", ())]
+    if data.get("requests") is not None:
+        # Imported lazily: sim.stats must not depend on the workloads
+        # layer, so the field is rebuilt here at the serialisation edge.
+        from ..workloads.latency import RequestStats
+
+        data["requests"] = RequestStats(**data["requests"])
     return RunStats(**data)
 
 

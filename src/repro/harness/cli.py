@@ -28,9 +28,16 @@ from typing import List, Optional
 
 from ..bench.spec import BENCHMARK_NAMES, KB
 from ..core.config import EXTENSION_CONFIGS, PAPER_CONFIGS
+from ..errors import ConfigError
 from ..kernels import TIER_ENV
 from .experiments import ALL_EXPERIMENTS
 from .runner import RunOptions, find_min_heap, run
+
+#: --benchmark help once the argument stopped being a closed choice list.
+_REF_HELP = (
+    "benchmark name (" + ", ".join(BENCHMARK_NAMES) + ") or a declarative "
+    "workload file (*.json / *.yaml)"
+)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -76,7 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list benchmarks, collectors, experiments")
 
     p_run = sub.add_parser("run", help="one benchmark/collector/heap run")
-    p_run.add_argument("--benchmark", required=True, choices=BENCHMARK_NAMES)
+    p_run.add_argument("--benchmark", required=True, metavar="REF", help=_REF_HELP)
     p_run.add_argument("--collector", default="25.25.100")
     p_run.add_argument("--heap-kb", type=float, required=True)
     p_run.add_argument(
@@ -99,8 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
         "differential checker + invariant suite)",
     )
     p_check.add_argument(
-        "--benchmark", action="append", choices=BENCHMARK_NAMES, default=None,
-        metavar="NAME", help="benchmark to check (repeatable; default: all six)",
+        "--benchmark", action="append", default=None, metavar="REF",
+        help="workload to check — " + _REF_HELP +
+        " (repeatable; default: all six benchmarks)",
     )
     p_check.add_argument("--collector", default="25.25.100")
     p_check.add_argument(
@@ -119,7 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile one run (lifetime demographics, pause analytics, "
         "heap geometry, cost attribution) and write the report",
     )
-    p_prof.add_argument("--benchmark", required=True, choices=BENCHMARK_NAMES)
+    p_prof.add_argument("--benchmark", required=True, metavar="REF", help=_REF_HELP)
     p_prof.add_argument("--collector", default="25.25.100")
     p_prof.add_argument("--heap-kb", type=float, required=True)
     p_prof.add_argument(
@@ -137,10 +145,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_prof)
 
     p_min = sub.add_parser("minheap", help="find the minimum heap size")
-    p_min.add_argument("--benchmark", required=True, choices=BENCHMARK_NAMES)
+    p_min.add_argument("--benchmark", required=True, metavar="REF", help=_REF_HELP)
     p_min.add_argument("--collector", default="gctk:Appel")
     _add_common(p_min)
     _add_grid(p_min)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run a request-driven server workload from a declarative "
+        "spec file and report request-latency percentiles",
+    )
+    p_srv.add_argument(
+        "spec",
+        help="server workload spec: a *.json / *.yaml file "
+        "(see examples/workloads/)",
+    )
+    p_srv.add_argument("--collector", default="25.25.100")
+    p_srv.add_argument(
+        "--heap-kb", type=float, default=None,
+        help="heap size (required unless --validate)",
+    )
+    p_srv.add_argument(
+        "--rate", type=float, default=None, metavar="RPS",
+        help="override the spec's arrival rate (requests per second)",
+    )
+    p_srv.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="override the spec's observation window (simulated seconds)",
+    )
+    p_srv.add_argument(
+        "--validate", action="store_true",
+        help="validate the spec file and exit without running",
+    )
+    p_srv.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="stream telemetry (request.start/end, gc, …) as JSON lines",
+    )
+    _add_common(p_srv)
+    _add_grid(p_srv)
 
     p_exp = sub.add_parser("experiment", help="reproduce one table/figure")
     p_exp.add_argument("name", choices=sorted(ALL_EXPERIMENTS))
@@ -215,9 +257,92 @@ def _run_experiment(name: str, points: int, scale: float) -> bool:
     return not failed
 
 
+def _serve(parser: argparse.ArgumentParser, args) -> int:
+    """The ``serve`` subcommand: one open-loop server-workload run."""
+    from ..specs import load as load_spec
+    from ..workloads.model import ServerWorkloadSpec
+
+    try:
+        spec = load_spec(args.spec)
+    except ConfigError as error:
+        print(f"invalid workload spec: {error}", file=sys.stderr)
+        return 1
+    if not isinstance(spec, ServerWorkloadSpec):
+        parser.error(
+            f"'serve' needs a server workload spec file; "
+            f"{args.spec!r} resolved to the closed-loop benchmark "
+            f"{spec.name!r} (use 'run' for those)"
+        )
+    if args.rate is not None:
+        spec = spec.with_rate(args.rate)
+    if args.duration is not None:
+        spec = spec.with_duration(args.duration)
+    if args.validate:
+        arrival = spec.arrival
+        mix = ", ".join(f"{t.name}({t.weight:g})" for t in spec.tasks)
+        print(f"{spec.name}: valid server workload")
+        print(
+            f"  arrival: {arrival.process} @ {arrival.rate_rps:g} req/s, "
+            f"window {spec.duration_s:g}s (~{spec.expected_requests()} requests)"
+        )
+        print(f"  tasks: {mix}")
+        print(f"  est. allocation: {spec.total_alloc_bytes / KB:.1f}KB")
+        return 0
+    if args.heap_kb is None:
+        parser.error("serve needs --heap-kb (unless --validate)")
+    heap_bytes = int(args.heap_kb * KB)
+    store = _open_store(parser, args)
+    if store is not None and not args.trace:  # tracing always executes
+        from .runner import run_many
+
+        stats = run_many(
+            [(spec, args.collector, heap_bytes, args.scale, args.seed)],
+            max_workers=args.workers,
+            store=store,
+        )[0]
+        trace_line = None
+    else:
+        report = run(
+            spec,
+            args.collector,
+            heap_bytes,
+            options=RunOptions(
+                scale=args.scale, seed=args.seed, trace=args.trace
+            ),
+        )
+        stats = report.stats
+        trace_line = (
+            f"trace: {report.trace_events_written} events -> {args.trace}"
+            if args.trace
+            else None
+        )
+    print(stats.summary_row())
+    requests = stats.requests
+    if requests is not None:
+        print(requests.summary_row())
+        # The golden-snapshot grep line: full-precision reprs, so CI can
+        # assert bit-identity of the latency percentiles with grep -F.
+        print(
+            f"latency-cycles {stats.benchmark}/{stats.collector}: "
+            f"p50={requests.p50_cycles!r} p99={requests.p99_cycles!r} "
+            f"p99.9={requests.p999_cycles!r} max={requests.max_cycles!r}"
+        )
+    return _finish_grid(store, 0 if stats.completed else 1)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(parser, args)
+    except ConfigError as error:
+        # Bad benchmark names, unresolvable refs, malformed collector
+        # specs: usage errors, reported like argparse's own (exit 2).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(parser: argparse.ArgumentParser, args) -> int:
     if getattr(args, "tier", None):
         # Through the environment rather than plumbing a parameter into
         # every run/sweep call: the VM resolves the tier at construction,
@@ -337,6 +462,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
             ok = ok and report.completed and sanitizer.ok
         return 0 if ok else 1
+    if args.command == "serve":
+        return _serve(parser, args)
     store = _open_store(parser, args)
     if args.command == "minheap":
         minimum = find_min_heap(

@@ -29,7 +29,7 @@ from ..analysis.series import (
 from ..analysis.sweep import SweepResult, heap_multipliers, sweep
 from ..analysis.plots import ascii_chart
 from ..analysis.tables import render_mmu, render_series, render_table
-from ..bench.spec import BENCHMARK_NAMES, KB, get_spec
+from ..bench.spec import BENCHMARK_NAMES, KB, benchmark_spec
 from ..runtime.vm import VM
 from ..runtime.mutator import MutatorContext
 from ..bench.engine import SyntheticMutator
@@ -231,7 +231,7 @@ def table1(scale: float = 1.0) -> ExperimentResult:
         ]
     )
     for pair, benchmark in enumerate(BENCHMARK_NAMES):
-        spec = get_spec(benchmark, scale)
+        spec = benchmark_spec(benchmark, scale)
         minimum = minima[benchmark]
         small, large = stats[2 * pair], stats[2 * pair + 1]
         paper = spec.paper

@@ -34,18 +34,22 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..bench.engine import SyntheticMutator
-from ..bench.spec import get_spec
 from ..core.config import BeltwayConfig
 from ..errors import ConfigError, OutOfMemory
 from ..obs import CounterSink, JsonlSink, RingBufferSink, TelemetryBus, attach
 from ..runtime.vm import EXPERIMENT_FRAME_SHIFT, VM
 from ..sim.stats import RunStats
+from ..specs import SpecRef, load as load_spec
+from ..workloads.engine import ServerMutator
+from ..workloads.model import ServerWorkloadSpec
 
 #: Frame size used by all experiments (bytes).
 FRAME_BYTES = 1 << EXPERIMENT_FRAME_SHIFT
 
-#: One grid cell: (benchmark, collector, heap_bytes, scale, seed).
-RunJob = Tuple[str, str, int, float, int]
+#: One grid cell: (benchmark ref, collector, heap_bytes, scale, seed).
+#: The first element is any spec ref ``repro.specs.load`` resolves —
+#: a registry name, a workload-file path, or a spec object.
+RunJob = Tuple[SpecRef, str, int, float, int]
 
 
 @dataclass(frozen=True)
@@ -125,6 +129,13 @@ class RunReport:
     def completed(self) -> bool:
         return self.stats.completed
 
+    @property
+    def requests(self):
+        """Request-latency results
+        (:class:`~repro.workloads.latency.RequestStats`) for server
+        workloads; ``None`` for the closed-loop SPEC replays."""
+        return self.stats.requests
+
 
 def _wants_telemetry(options: RunOptions) -> bool:
     return bool(
@@ -161,7 +172,7 @@ def _profile_options(options: RunOptions):
 
 
 def run(
-    spec: str,
+    spec: SpecRef,
     plan: Union[str, BeltwayConfig],
     heap_bytes: int,
     *,
@@ -169,15 +180,19 @@ def run(
 ) -> RunReport:
     """One complete run; OutOfMemory is reported, not raised.
 
-    ``spec`` is a benchmark name (see ``repro.bench.spec``), ``plan`` a
-    collector spec (``"25.25.100"``, ``"gctk:Appel"``, or a parsed
+    ``spec`` is any ref :func:`repro.specs.load` resolves — a benchmark
+    name (``"jess"``), a declarative workload file (``"shop.yaml"``), or
+    a spec object; ``plan`` a collector spec (``"25.25.100"``,
+    ``"gctk:Appel"``, or a parsed
     :class:`~repro.core.config.BeltwayConfig`).  ``options`` selects
     scale/seed and any telemetry; with the defaults the run is
     instrumentation-free and ``RunReport.stats`` is all that is filled.
+    Server workloads additionally fill ``RunReport.requests`` with
+    request-latency percentiles.
     """
     options = options or RunOptions()
     profile_opts = _profile_options(options)  # validate before building a VM
-    bench = get_spec(spec, options.scale)
+    bench = load_spec(spec, options.scale)
     vm = VM(
         heap_bytes,
         collector=plan,
@@ -198,7 +213,10 @@ def run(
         sanitizer = attach_sanitizer(vm)
     # The sanitizer (and any faults) must be in place before the engine
     # builds its MutatorContext — bound-method caches freeze the paths in.
-    engine = SyntheticMutator(vm, bench, seed=options.seed)
+    if isinstance(bench, ServerWorkloadSpec):
+        engine = ServerMutator(vm, bench, seed=options.seed)
+    else:
+        engine = SyntheticMutator(vm, bench, seed=options.seed)
 
     if not _wants_telemetry(options):
         stats = _execute(engine, vm, sanitizer)
@@ -224,6 +242,10 @@ def run(
         snapshot_every=options.snapshot_every,
         profile=bool(options.profile),
     )
+    if isinstance(engine, ServerMutator):
+        # The engine reads ``bus`` at emit time, so handing it over after
+        # attach() keeps the construction-order contract above intact.
+        engine.bus = bus
     profiler = None
     if profile_opts is not None:
         from ..obs.profiler import Profiler
@@ -270,9 +292,17 @@ def _execute(engine, vm, sanitizer) -> RunStats:
             sanitizer.check_now()
         return stats
     except OutOfMemory as error:
-        return vm.finish(completed=False, failure=str(error))
+        return _abort_stats(engine, vm, failure=str(error))
     except _sanitizer_violation() as error:
-        return vm.finish(completed=False, failure=f"sanitizer: {error}")
+        return _abort_stats(engine, vm, failure=f"sanitizer: {error}")
+
+
+def _abort_stats(engine, vm, failure: str) -> RunStats:
+    """Failed-run stats; server engines still report partial latencies."""
+    stats = vm.finish(completed=False, failure=failure)
+    if isinstance(engine, ServerMutator):
+        stats.requests = engine.request_stats()
+    return stats
 
 
 def _sanitizer_violation():

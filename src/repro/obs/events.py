@@ -126,6 +126,27 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "status": (str,),
         "attempt": _NUM,
     },
+    # Server workloads: a request starts service.  ``time`` is the
+    # service-start instant on the simulated clock; ``arrival_cycles`` is
+    # when the request arrived (open-loop: earlier whenever it queued) and
+    # ``queue_depth`` is the backlog already due behind it.
+    "request.start": {
+        "id": _NUM,
+        "task": (str,),
+        "arrival_cycles": _NUM,
+        "queue_depth": _NUM,
+    },
+    # Server workloads: a request completed.  ``latency_cycles`` is
+    # completion − arrival (queueing included); ``gc_pauses`` counts the
+    # collections that landed inside this request's timeline.
+    "request.end": {
+        "id": _NUM,
+        "task": (str,),
+        "latency_cycles": _NUM,
+        "alloc_bytes": _NUM,
+        "gc_pauses": _NUM,
+        "queue_depth": _NUM,
+    },
     # Profiler: one heap-geometry sample — per-label [frames, words]
     # occupancy at a collection boundary or periodic snapshot.
     "profiler.geometry": {

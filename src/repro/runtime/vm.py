@@ -218,6 +218,20 @@ class VM:
     def collect(self, reason: str = "forced") -> CollectionResult:
         return self.plan.collect(reason)
 
+    def sync_clock(self) -> float:
+        """Flush pending mutator work into the clock; returns ``clock.now``.
+
+        Mutator cycles normally reach the clock only at collection pauses
+        and at :meth:`finish` — coarse enough for whole-run figures, too
+        coarse for per-request latencies.  Request-driven engines call
+        this at request boundaries so ``clock.now`` is exact there.  With
+        the default locality model the flush schedule does not change any
+        cycle total (the multiplier is 1.0), so figure workloads are
+        unaffected.
+        """
+        self._flush_mutator()
+        return self.clock.now
+
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------

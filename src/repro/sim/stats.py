@@ -53,6 +53,12 @@ class RunStats:
     #: (retained cross-increment cycles)
     post_gc_occupancy_bytes: List[int] = field(default_factory=list)
 
+    #: Request-latency outcome (:class:`repro.workloads.latency.RequestStats`)
+    #: for open-loop server workloads; ``None`` for the closed-loop SPEC
+    #: replays.  Typed loosely so the sim layer stays independent of the
+    #: workloads layer; the grid store rebuilds it on deserialisation.
+    requests: Optional[object] = None
+
     # ------------------------------------------------------------------
     @property
     def gc_fraction(self) -> float:
@@ -96,7 +102,7 @@ class RunStats:
         bare-name gauge convention.
         """
         durations = [p.duration for p in self.pauses]
-        return {
+        counters = {
             "run_completed": float(self.completed),
             "run_total_cycles": float(self.total_cycles),
             "run_gc_cycles": float(self.gc_cycles),
@@ -115,6 +121,9 @@ class RunStats:
             "remset_peak_entries": float(self.peak_remset_entries),
             "heap_peak_footprint_bytes": float(self.peak_footprint_bytes),
         }
+        if self.requests is not None:
+            counters.update(self.requests.counters())
+        return counters
 
     def summary_row(self) -> str:
         """One formatted line for console tables."""

@@ -1,0 +1,66 @@
+"""Deterministic arrival-time generation on the simulated clock.
+
+Arrival times are drawn *before* the run starts, from a dedicated rng
+stream seeded independently of the behaviour rng.  This is what makes the
+model open-loop: the offered load is a function of the spec and seed only,
+never of how fast the server happens to serve — a GC pause cannot slow the
+arrival process down, it can only queue what arrives during it.
+
+Both processes are piecewise-Poisson.  ``bursty`` alternates on/off rate
+windows; at each window boundary the exponential draw restarts, which is
+exact for a Poisson process (memorylessness) and keeps the generator a
+simple forward walk.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..sim.cost import CYCLES_PER_SECOND
+from .model import ArrivalSpec
+
+
+def generate_arrivals(
+    arrival: ArrivalSpec,
+    duration_s: float,
+    rng: random.Random,
+    max_requests: int = 0,
+) -> List[float]:
+    """Arrival times in cycles, strictly increasing, within the window."""
+    limit = duration_s * CYCLES_PER_SECOND
+    out: List[float] = []
+    expovariate = rng.expovariate
+    if arrival.process == "poisson":
+        mean_gap = CYCLES_PER_SECOND / arrival.rate_rps
+        t = expovariate(1.0) * mean_gap
+        while t < limit:
+            out.append(t)
+            if max_requests and len(out) >= max_requests:
+                break
+            t += expovariate(1.0) * mean_gap
+        return out
+
+    # bursty: [0, on) at rate*multiplier, [on, on+off) at rate, repeating
+    on = arrival.on_s * CYCLES_PER_SECOND
+    period = on + arrival.off_s * CYCLES_PER_SECOND
+    burst_gap = CYCLES_PER_SECOND / (arrival.rate_rps * arrival.burst_multiplier)
+    base_gap = CYCLES_PER_SECOND / arrival.rate_rps
+    t = 0.0
+    while t < limit:
+        phase = t % period
+        in_burst = phase < on
+        gap = expovariate(1.0) * (burst_gap if in_burst else base_gap)
+        boundary = t - phase + (on if in_burst else period)
+        if t + gap >= boundary:
+            # The window ends first: restart the draw at the boundary
+            # (memorylessness makes this the exact piecewise process).
+            t = boundary
+            continue
+        t += gap
+        if t >= limit:
+            break
+        out.append(t)
+        if max_requests and len(out) >= max_requests:
+            break
+    return out

@@ -1,0 +1,375 @@
+"""ServerMutator: the open-loop request engine.
+
+The engine serves a precomputed arrival schedule against the VM, one
+request at a time on the simulated clock (a single-threaded event loop —
+the standard model for a worker process):
+
+* **idle** — if the next arrival is in the future, the gap is charged to
+  the mutator clock as idle time (total = mutator + gc stays an
+  invariant);
+* **backlog** — if arrivals are behind the clock (a GC pause or a slow
+  request queued them), they are served back-to-back and their latencies
+  include the wait;
+* **serve** — a request picks a weighted task, allocates its site mix up
+  to the task's byte budget, touches the session graph and cache
+  directory, charges its computation, and its latency is
+  ``completion - arrival`` with the clock flushed exactly at both edges
+  (``VM.sync_clock``).
+
+Object lifetimes map to server scopes: ``request`` allocations are rooted
+only for the request (infant mortality), ``session`` allocations are
+written into the owning connection's object graph and die when it closes
+(connection churn), ``cache`` allocations enter a TTL'd directory whose
+entries the loop expires as the clock passes them, and named byte-classes
+use the same DeathSchedule as the SPEC replays.
+
+Determinism: two rng streams derived from the seed — one for arrivals
+(open-loop: offered load never depends on service) and one for behaviour.
+All scheduling is on the simulated clock, so results are bit-identical
+across repeated runs, host machines, and substrate tiers.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import accumulate
+from typing import Dict, List, Optional, Tuple
+
+from ..bench.engine import ensure_standard_types
+from ..bench.lifetime import DeathSchedule
+from ..heap.address import WORD_BYTES
+from ..heap.objectmodel import HEADER_WORDS
+from ..runtime.mutator import MutatorContext
+from ..runtime.roots import Handle
+from ..runtime.vm import VM
+from ..sim.cost import CYCLES_PER_SECOND
+from ..sim.stats import RunStats
+from .arrivals import generate_arrivals
+from .latency import RequestStats
+from .model import RequestTask, ServerWorkloadSpec
+
+#: Offset deriving the arrival stream from the run seed (any fixed odd
+#: constant works; it just has to differ from the behaviour stream).
+_ARRIVAL_SEED_SALT = 0x9E3779B9
+
+#: Cache-directory chunk width: the directory is built from refarr chunks
+#: of this many slots so ``cache.slots`` is not bounded by the frame size
+#: (there is no large-object space; one huge refarr could never allocate).
+_DIR_CHUNK = 32
+
+
+class _Session:
+    """One open connection: its rooted object graph and request budget."""
+
+    __slots__ = ("root", "budget", "next_slot")
+
+    def __init__(self, root: Handle, budget: int):
+        self.root = root
+        self.budget = budget
+        self.next_slot = 0
+
+
+class ServerMutator:
+    """Executes a ServerWorkloadSpec against a VM, open-loop."""
+
+    def __init__(
+        self,
+        vm: VM,
+        spec: ServerWorkloadSpec,
+        seed: int = 13,
+        bus=None,
+    ):
+        self.vm = vm
+        self.spec = spec
+        self.rng = random.Random(seed)
+        self.arrival_rng = random.Random((seed ^ _ARRIVAL_SEED_SALT) & 0xFFFFFFFF)
+        self.bus = bus  # read at emit time, so obs.attach may set it later
+        self.mu = MutatorContext(vm)
+        ensure_standard_types(vm)
+        self.schedule = DeathSchedule()
+        self.immortals: List[Handle] = []
+        self.allocated_bytes = 0
+        # task mix: cumulative weights for rng.choices (same draw shape
+        # as the closed-loop engine)
+        self._task_rows = [self._compile_task(t) for t in spec.tasks]
+        self._task_cum = list(accumulate(t.weight for t in spec.tasks))
+        # sessions: fixed array of max_concurrent slots, opened lazily
+        self._sessions: List[Optional[_Session]] = [None] * spec.sessions.max_concurrent
+        # cache: immortal directory refarr chunks + expiry times per slot
+        self._cache_dir: Optional[List[Handle]] = None
+        self._cache_expiry: Dict[int, float] = {}
+        # latency accounting
+        self._latencies: List[float] = []
+        self._offered = 0
+        self._queue_peak = 0
+        self._paused_requests = 0
+        self._sessions_opened = 0
+        self._sessions_closed = 0
+        self._cache_inserts = 0
+        self._cache_expirations = 0
+        self._cache_lookups = 0
+        self._cache_hits = 0
+        self._request_id = 0
+        self._randbelow = self.rng._randbelow
+
+    # ------------------------------------------------------------------
+    def _compile_task(self, task: RequestTask):
+        """Pre-resolve descriptors and lifetimes for a task's site table."""
+        vm = self.vm
+        lifetimes = self.spec.lifetimes
+        rows = []
+        for site in task.sites:
+            desc = vm.types.by_name(site.type_name)
+            kind = site.lifetime  # "request" | "session" | "cache" | named
+            byte_class = lifetimes.get(site.lifetime)
+            scalar_shape = site.type_name in ("small", "node", "big")
+            rows.append((site, desc, kind, byte_class, scalar_shape))
+        cum = list(accumulate(s.weight for s in task.sites))
+        return (task, rows, cum)
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def _open_session(self, idx: int) -> _Session:
+        spec = self.spec.sessions
+        root = self.mu.alloc_named("refarr", spec.slots)
+        self.allocated_bytes += (HEADER_WORDS + spec.slots) * WORD_BYTES
+        node_desc = self.vm.types.by_name("node")
+        node_bytes = node_desc.size_words() * WORD_BYTES
+        for i in range(spec.seed_objects):
+            obj = self.mu.alloc(node_desc)
+            self.allocated_bytes += node_bytes
+            self.mu.write(root, i, obj)
+            obj.drop()
+        budget = self.rng.randint(*spec.requests_per_session)
+        session = _Session(root, budget)
+        self._sessions[idx] = session
+        self._sessions_opened += 1
+        return session
+
+    def _close_session(self, idx: int) -> None:
+        session = self._sessions[idx]
+        if session is not None:
+            session.root.drop()  # the whole per-connection graph dies
+            self._sessions[idx] = None
+            self._sessions_closed += 1
+
+    def _pick_session(self) -> Tuple[int, _Session]:
+        idx = self._randbelow(len(self._sessions))
+        session = self._sessions[idx]
+        if session is None:
+            session = self._open_session(idx)
+        return idx, session
+
+    # ------------------------------------------------------------------
+    # Cache directory
+    # ------------------------------------------------------------------
+    def _cache_directory(self) -> List[Handle]:
+        if self._cache_dir is None:
+            slots = max(1, self.spec.cache.slots)
+            chunks: List[Handle] = []
+            for base in range(0, slots, _DIR_CHUNK):
+                width = min(_DIR_CHUNK, slots - base)
+                chunks.append(self.mu.alloc_named("refarr", width))
+                self.allocated_bytes += (HEADER_WORDS + width) * WORD_BYTES
+            self._cache_dir = chunks
+        return self._cache_dir
+
+    def _expire_cache(self, now: float) -> None:
+        if not self._cache_expiry:
+            return
+        expired = [s for s, t in self._cache_expiry.items() if t <= now]
+        if not expired:
+            return
+        directory = self._cache_directory()
+        for slot in expired:
+            del self._cache_expiry[slot]
+            chunk, offset = divmod(slot, _DIR_CHUNK)
+            self.mu.write(directory[chunk], offset, None)
+            self._cache_expirations += 1
+
+    def _cache_insert(self, handle: Handle, now: float) -> None:
+        spec = self.spec.cache
+        if spec.slots <= 0:
+            return
+        directory = self._cache_directory()
+        slot = self._randbelow(spec.slots)
+        lo, hi = spec.ttl_s
+        ttl = self.rng.uniform(lo, hi) * CYCLES_PER_SECOND
+        chunk, offset = divmod(slot, _DIR_CHUNK)
+        self.mu.write(directory[chunk], offset, handle)
+        self._cache_expiry[slot] = now + ttl
+        self._cache_inserts += 1
+
+    def _cache_lookup(self) -> None:
+        spec = self.spec.cache
+        if spec.slots <= 0:
+            return
+        directory = self._cache_directory()
+        slot = self._randbelow(spec.slots)
+        self._cache_lookups += 1
+        chunk, offset = divmod(slot, _DIR_CHUNK)
+        if self.mu.read_addr(directory[chunk], offset):
+            self._cache_hits += 1
+
+    # ------------------------------------------------------------------
+    # Request service
+    # ------------------------------------------------------------------
+    def _serve(self, arrival: float, start: float, queue_depth: int) -> None:
+        rng = self.rng
+        mu = self.mu
+        task, rows, cum = rng.choices(self._task_rows, cum_weights=self._task_cum)[0]
+        request_id = self._request_id
+        self._request_id += 1
+        pauses_before = len(self.vm.clock.pauses)
+        bus = self.bus
+        if bus is not None:
+            bus.emit(
+                "request.start",
+                start,
+                {
+                    "id": request_id,
+                    "task": task.name,
+                    "arrival_cycles": arrival,
+                    "queue_depth": queue_depth,
+                },
+            )
+        idx, session = self._pick_session()
+        alloc_before = self.allocated_bytes
+        budget = rng.randint(*task.request_bytes)
+        request_handles: List[Handle] = []
+        choices = rng.choices
+        while self.allocated_bytes - alloc_before < budget:
+            site, desc, kind, byte_class, scalar_shape = choices(
+                rows, cum_weights=cum
+            )[0]
+            length = 0
+            if site.length != (0, 0):
+                length = rng.randint(*site.length)
+            handle = mu.alloc(desc, length)
+            size_code = desc.size_code
+            allocated = self.allocated_bytes + (
+                size_code if size_code >= 0 else HEADER_WORDS + length
+            ) * WORD_BYTES
+            self.allocated_bytes = allocated
+            if scalar_shape:
+                mu.write_int(handle, 0, allocated & 0x7FFFFFFF)
+            if site.link_prob and rng.random() < site.link_prob:
+                # an old session object points at the newcomer: the
+                # old→young traffic the write barriers exist for
+                slot = self._randbelow(self.spec.sessions.slots)
+                mu.write(session.root, slot, handle)
+            if kind == "request":
+                request_handles.append(handle)
+            elif kind == "session":
+                slot = session.next_slot % self.spec.sessions.slots
+                session.next_slot += 1
+                mu.write(session.root, slot, handle)
+                handle.drop()  # survives through the session graph only
+            elif kind == "cache":
+                self._cache_insert(handle, self.vm.clock.now)
+                handle.drop()
+            elif byte_class is not None:
+                death = byte_class.sample(rng)
+                if death is None:
+                    self.immortals.append(handle)  # pinned for the run
+                else:
+                    self.schedule.schedule(allocated + death, handle)
+            mu.work(site.work)
+        for _ in range(task.cache_lookups):
+            self._cache_lookup()
+        reads_whole, reads_frac = divmod(task.reads, 1.0)
+        for _ in range(int(reads_whole)):
+            self._read_session_field(session)
+        if reads_frac and rng.random() < reads_frac:
+            self._read_session_field(session)
+        mu.work(task.work)
+        # request end: short-lived objects die, byte-classes reap
+        for handle in request_handles:
+            handle.drop()
+        self.schedule.reap(self.allocated_bytes)
+        session.budget -= 1
+        if session.budget <= 0:
+            self._close_session(idx)
+        end = self.vm.sync_clock()
+        latency = end - arrival
+        self._latencies.append(latency)
+        gc_pauses = len(self.vm.clock.pauses) - pauses_before
+        if gc_pauses:
+            self._paused_requests += 1
+        if bus is not None:
+            bus.emit(
+                "request.end",
+                end,
+                {
+                    "id": request_id,
+                    "task": task.name,
+                    "latency_cycles": latency,
+                    "alloc_bytes": self.allocated_bytes - alloc_before,
+                    "gc_pauses": gc_pauses,
+                    "queue_depth": queue_depth,
+                },
+            )
+
+    def _read_session_field(self, session: _Session) -> None:
+        slot = self._randbelow(self.spec.sessions.slots)
+        self.mu.read_addr(session.root, slot)
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunStats:
+        clock = self.vm.clock
+        arrivals = generate_arrivals(
+            self.spec.arrival,
+            self.spec.duration_s,
+            self.arrival_rng,
+            self.spec.max_requests,
+        )
+        self._offered = len(arrivals)
+        served = 0
+        n = len(arrivals)
+        for i, arrival in enumerate(arrivals):
+            now = self.vm.sync_clock()
+            if arrival > now:
+                # idle until the next request arrives
+                clock.charge_mutator(arrival - now)
+                now = arrival
+            self._expire_cache(now)
+            # backlog depth: later arrivals already due at service start
+            depth = 0
+            j = i + 1
+            while j < n and arrivals[j] <= now:
+                depth += 1
+                j += 1
+            if depth > self._queue_peak:
+                self._queue_peak = depth
+            self._serve(arrival, now, depth)
+            served += 1
+        # drain: close every open connection, then let the run end
+        for idx in range(len(self._sessions)):
+            if self._sessions[idx] is not None:
+                self._close_session(idx)
+        self.vm.sync_clock()
+        stats = self.vm.finish()
+        stats.requests = self.request_stats()
+        return stats
+
+    # ------------------------------------------------------------------
+    def request_stats(self) -> RequestStats:
+        """RequestStats from everything served so far (valid mid-run,
+        so an OutOfMemory abort still reports partial latencies)."""
+        return RequestStats.from_latencies(
+            self._latencies,
+            offered=self._offered,
+            queue_peak=self._queue_peak,
+            paused_requests=self._paused_requests,
+            sessions_opened=self._sessions_opened,
+            sessions_closed=self._sessions_closed,
+            cache_inserts=self._cache_inserts,
+            cache_expirations=self._cache_expirations,
+            cache_lookups=self._cache_lookups,
+            cache_hits=self._cache_hits,
+        )
+
+    @property
+    def live_objects(self) -> int:
+        return len(self.immortals) + len(self.schedule)

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.bench.spec import BENCHMARK_NAMES, KB, all_specs, canonical_name, get_spec
+from repro.bench.spec import (
+    BENCHMARK_NAMES,
+    KB,
+    all_specs,
+    benchmark_spec,
+    canonical_name,
+    get_spec,
+)
 from repro.errors import ConfigError
 from repro.harness.runner import RunOptions, run
 
@@ -33,8 +40,8 @@ def test_all_specs_complete_metadata():
 
 
 def test_spec_scaling():
-    full = get_spec("jess")
-    half = get_spec("jess", scale=0.5)
+    full = benchmark_spec("jess")
+    half = benchmark_spec("jess", scale=0.5)
     assert half.total_alloc_bytes == full.total_alloc_bytes // 2
     assert half.paper.min_heap_bytes == full.paper.min_heap_bytes
 
@@ -50,13 +57,13 @@ def test_table1_totals_match_paper():
         "pseudojbb": 381,
     }
     for name, kb in expected.items():
-        assert get_spec(name).total_alloc_bytes == kb * KB
+        assert benchmark_spec(name).total_alloc_bytes == kb * KB
 
 
 @pytest.mark.parametrize("name", BENCHMARK_NAMES)
 def test_benchmark_runs_to_completion(name):
     """Each benchmark completes at ~2.5x its paper minimum, shortened 5x."""
-    spec = get_spec(name)
+    spec = benchmark_spec(name)
     heap = int(2.5 * spec.paper.min_heap_bytes)
     stats = _run_stats(name, "gctk:Appel", heap, scale=0.2)
     assert stats.completed, stats.failure
@@ -68,7 +75,7 @@ def test_benchmark_runs_to_completion(name):
 
 @pytest.mark.parametrize("name", BENCHMARK_NAMES)
 def test_benchmark_deterministic(name):
-    spec = get_spec(name)
+    spec = benchmark_spec(name)
     heap = int(2.5 * spec.paper.min_heap_bytes)
     a = _run_stats(name, "25.25.100", heap, scale=0.1)
     b = _run_stats(name, "25.25.100", heap, scale=0.1)
@@ -80,7 +87,7 @@ def test_javac_builds_cycles():
     from repro.bench.engine import SyntheticMutator
     from repro.runtime import VM
 
-    spec = get_spec("javac", scale=0.2)
+    spec = benchmark_spec("javac", scale=0.2)
     vm = VM(2 * spec.paper.min_heap_bytes, collector="25.25.100")
     engine = SyntheticMutator(vm, spec, seed=13)
     engine.run()
@@ -91,7 +98,7 @@ def test_db_setup_builds_immortal_database():
     from repro.bench.engine import SyntheticMutator
     from repro.runtime import VM
 
-    spec = get_spec("db", scale=0.05)
+    spec = benchmark_spec("db", scale=0.05)
     vm = VM(2 * spec.paper.min_heap_bytes, collector="gctk:Appel")
     engine = SyntheticMutator(vm, spec, seed=13)
     engine.run()
@@ -100,7 +107,7 @@ def test_db_setup_builds_immortal_database():
 
 
 def test_pseudojbb_has_middle_aged_orders():
-    spec = get_spec("pseudojbb")
+    spec = benchmark_spec("pseudojbb")
     order = spec.lifetimes["order"]
     nursery_increment = spec.paper.min_heap_bytes // 5  # 25.25.100 increment
     assert order.lo_bytes > nursery_increment // 4
@@ -108,9 +115,19 @@ def test_pseudojbb_has_middle_aged_orders():
 
 
 def test_locality_models_differ():
-    db = get_spec("db").locality
-    jess = get_spec("jess").locality
-    jbb = get_spec("pseudojbb").locality
+    db = benchmark_spec("db").locality
+    jess = benchmark_spec("jess").locality
+    jbb = benchmark_spec("pseudojbb").locality
     assert db.cache_sensitivity > jess.cache_sensitivity
     assert jbb.memory_words > 0  # only pseudojbb pages
     assert jess.memory_words == 0
+
+
+def test_get_spec_shim_warns_and_delegates():
+    """The deprecated name still works, loudly, and returns the same spec."""
+    import pytest
+
+    with pytest.warns(DeprecationWarning, match="repro.specs.load"):
+        spec = get_spec("jess", scale=0.5)
+    assert spec.name == benchmark_spec("jess", scale=0.5).name
+    assert spec.total_alloc_bytes == benchmark_spec("jess", 0.5).total_alloc_bytes

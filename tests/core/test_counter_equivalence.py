@@ -16,7 +16,7 @@ from pathlib import Path
 import pytest
 
 from repro.bench.engine import SyntheticMutator
-from repro.bench.spec import get_spec
+from repro.bench.spec import benchmark_spec
 from repro.errors import OutOfMemory
 from repro.runtime.vm import VM
 
@@ -26,7 +26,7 @@ GOLDEN = json.loads(GOLDEN_PATH.read_text())
 
 def replay(benchmark: str, collector: str, heap_bytes: int, scale: float,
            seed: int, tier: str = None) -> dict:
-    spec = get_spec(benchmark, scale)
+    spec = benchmark_spec(benchmark, scale)
     vm = VM(heap_bytes, collector=collector, locality=spec.locality,
             benchmark_name=spec.name, tier=tier)
     engine = SyntheticMutator(vm, spec, seed=seed)

@@ -21,7 +21,7 @@ import json
 from pathlib import Path
 
 from repro.bench.engine import SyntheticMutator
-from repro.bench.spec import get_spec
+from repro.bench.spec import benchmark_spec
 from repro.errors import OutOfMemory
 from repro.harness.runner import find_min_heap
 from repro.runtime.vm import VM
@@ -37,7 +37,7 @@ BENCHMARKS = ("jess", "raytrace", "db", "javac", "jack", "pseudojbb")
 
 def capture_cell(benchmark: str, collector: str, heap_bytes: int, scale: float,
                  seed: int = 13) -> dict:
-    spec = get_spec(benchmark, scale)
+    spec = benchmark_spec(benchmark, scale)
     vm = VM(heap_bytes, collector=collector, locality=spec.locality,
             benchmark_name=spec.name)
     engine = SyntheticMutator(vm, spec, seed=seed)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Capture fixed-seed request-latency goldens for the server workloads.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/data/capture_golden_server.py [--out PATH]
+
+The resulting JSON pins one example server workload (ISSUE 8) against two
+collector families: every RequestStats field (latency percentiles, queue
+peak, session/cache counters) plus the core RunStats counters, and the
+exact ``latency-cycles`` line ``beltway-bench serve`` prints (CI greps the
+golden for that line to prove bit-identity end to end).
+``tests/workloads/test_golden.py`` replays the same runs against it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.harness.runner import RunOptions, run
+from repro.specs import load as load_spec
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: (spec file, collector, heap bytes): the Beltway generational default
+#: and the independent gctk Appel baseline, on the memcached-style mix.
+CELLS = (
+    ("examples/workloads/kvstore.json", "25.25.100", 192 * 1024),
+    ("examples/workloads/kvstore.json", "gctk:Appel", 192 * 1024),
+)
+SEED = 13
+
+
+def capture_cell(spec_path: str, collector: str, heap_bytes: int,
+                 seed: int = SEED) -> dict:
+    spec = load_spec(REPO / spec_path)
+    report = run(REPO / spec_path, collector, heap_bytes,
+                 options=RunOptions(seed=seed))
+    stats = report.stats
+    requests = report.requests
+    return {
+        "spec": spec_path,
+        "heap_bytes": heap_bytes,
+        "completed": stats.completed,
+        "collections": stats.collections,
+        "allocations": stats.allocations,
+        "allocated_bytes": stats.allocated_bytes,
+        "total_cycles": stats.total_cycles,
+        "gc_cycles": stats.gc_cycles,
+        "mutator_cycles": stats.mutator_cycles,
+        "requests": requests.to_dict(),
+        "latency_line": (
+            f"latency-cycles {spec.name}/{collector}: "
+            f"p50={requests.p50_cycles!r} p99={requests.p99_cycles!r} "
+            f"p99.9={requests.p999_cycles!r} max={requests.max_cycles!r}"
+        ),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent / "golden_server.json")
+    args = parser.parse_args()
+    cells = {}
+    for spec_path, collector, heap_bytes in CELLS:
+        spec = load_spec(REPO / spec_path)
+        key = f"{spec.name}/{collector}"
+        cells[key] = capture_cell(spec_path, collector, heap_bytes, args.seed)
+        print(cells[key]["latency_line"])
+    args.out.write_text(json.dumps(
+        {"seed": args.seed, "cells": cells},
+        indent=1, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -222,3 +222,74 @@ def test_concurrent_writers_lose_nothing(tmp_path):
     index = json.loads((root / "index.json").read_text())
     assert index["format"] == STORE_FORMAT_VERSION
     assert len(index["cells"]) == 3
+
+
+# ----------------------------------------------------------------------
+# File-based server-workload cells (ISSUE 8)
+# ----------------------------------------------------------------------
+def _mini_spec_file(path, rate=700):
+    path.write_text(json.dumps({
+        "name": "mini",
+        "duration_s": 0.05,
+        "arrival": {"rate_rps": rate},
+        "tasks": [{"name": "get",
+                   "sites": [{"type": "small", "lifetime": "request"}]}],
+    }))
+    return path
+
+
+def test_file_workload_key_is_content_addressed(tmp_path):
+    """Editing a workload file invalidates its cells; renaming does not;
+    a spec object with the file's content shares the file's cells."""
+    from repro.specs import load as load_spec
+
+    original = _mini_spec_file(tmp_path / "a.json")
+    (tmp_path / "b").mkdir()
+    renamed = _mini_spec_file(tmp_path / "b" / "renamed.json")
+    edited = _mini_spec_file(tmp_path / "edited.json", rate=900)
+    args = ("25.25.100", 96 * 1024, 1.0, 13)
+    base = cell_key(original, *args)
+    assert cell_key(renamed, *args) == base
+    assert cell_key(load_spec(original), *args) == base
+    assert cell_key(edited, *args) != base
+
+
+def test_handbuilt_workloadspec_has_no_key(tmp_path):
+    from repro.bench.spec import benchmark_spec
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="fingerprint"):
+        cell_key(benchmark_spec("db"), "25.25.100", 96 * 1024, 1.0, 13)
+
+
+def test_server_cell_round_trips_request_stats(tmp_path):
+    """put → shard → fresh store: the rebuilt RunStats carries an equal
+    RequestStats, not a bare dict (the v2 format's new field)."""
+    from repro.workloads.latency import RequestStats
+
+    spec_file = _mini_spec_file(tmp_path / "mini.json")
+    stats = _fresh_stats(spec_file, "25.25.100", 96 * 1024, 1.0)
+    assert stats.requests is not None and stats.requests.count > 0
+    key = cell_key(spec_file, "25.25.100", 96 * 1024, 1.0, 13)
+    with ResultStore(tmp_path / "store") as store:
+        store.put(key, stats)
+    reloaded = ResultStore(tmp_path / "store").get(key)
+    assert isinstance(reloaded.requests, RequestStats)
+    assert reloaded == stats
+
+
+def test_executor_serves_server_cells_from_store(tmp_path):
+    """run_many with a store: the second batch replays the server cell
+    from disk, bit-identically, executing nothing."""
+    from repro.harness.runner import run_many
+
+    spec_file = _mini_spec_file(tmp_path / "mini.json")
+    job = [(spec_file, "25.25.100", 96 * 1024, 1.0, 13)]
+    with ResultStore(tmp_path / "store") as store:
+        first = run_many(job, parallel=False, store=store)[0]
+        assert store.puts == 1
+    with ResultStore(tmp_path / "store") as store:
+        second = run_many(job, parallel=False, store=store)[0]
+        assert store.hits == 1 and store.puts == 0
+    assert first == second
+    assert second.requests == first.requests

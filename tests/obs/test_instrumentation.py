@@ -10,7 +10,7 @@ cycles of an instrumented run are bit-identical to an untouched run.
 import pytest
 
 from repro.bench.engine import SyntheticMutator
-from repro.bench.spec import get_spec
+from repro.bench.spec import benchmark_spec
 from repro.obs import RingBufferSink, TelemetryBus, attach, validate_events
 from repro.runtime import MutatorContext, VM
 
@@ -38,7 +38,7 @@ def _fingerprint(vm, stats):
 
 
 def _run(collector, instrumented):
-    spec = get_spec("jess", SCALE)
+    spec = benchmark_spec("jess", SCALE)
     vm = VM(HEAP, collector=collector, locality=spec.locality,
             benchmark_name=spec.name)
     ring = None

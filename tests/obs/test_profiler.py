@@ -21,7 +21,7 @@ import pytest
 from repro.analysis.mmu import mmu, mmu_curve, mmu_curve_from_events
 from repro.analysis.pauses import percentile, summarise
 from repro.bench.engine import SyntheticMutator
-from repro.bench.spec import BENCHMARK_NAMES, get_spec
+from repro.bench.spec import BENCHMARK_NAMES, benchmark_spec
 from repro.errors import ConfigError
 from repro.harness.runner import RunOptions, run
 from repro.obs import validate_events
@@ -227,7 +227,7 @@ def test_attach_then_detach_is_bit_identical(bench_name):
     same fixture) as the tracer and the sanitizer."""
     cell = f"{bench_name}/25.25.100"
     golden = GOLDEN["cells"][cell]
-    spec = get_spec(bench_name, GOLDEN["scale"])
+    spec = benchmark_spec(bench_name, GOLDEN["scale"])
     vm = VM(
         golden["heap_bytes"], collector="25.25.100",
         locality=spec.locality, benchmark_name=spec.name,

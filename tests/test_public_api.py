@@ -24,7 +24,7 @@ def test_every_module_imports():
     "package",
     ["repro", "repro.heap", "repro.core", "repro.analysis", "repro.sim",
      "repro.bench", "repro.runtime", "repro.gctk", "repro.obs",
-     "repro.harness", "repro.sanitizer"],
+     "repro.harness", "repro.sanitizer", "repro.workloads", "repro.grid"],
 )
 def test_all_exports_resolve(package):
     module = importlib.import_module(package)
@@ -33,7 +33,7 @@ def test_all_exports_resolve(package):
 
 
 def test_version():
-    assert repro.__version__ == "1.4.0"
+    assert repro.__version__ == "1.5.0"
 
 
 def test_stable_run_surface():
@@ -41,7 +41,10 @@ def test_stable_run_surface():
     for name in ("run", "run_many", "sweep", "find_min_heap",
                  "attach_tracer", "RunOptions", "RunReport",
                  "TelemetryBus", "Tracer", "attach_sanitizer",
-                 "arm_faults", "FaultSpec"):
+                 "arm_faults", "FaultSpec",
+                 "load_spec", "fingerprint", "load_workload",
+                 "ServerWorkloadSpec", "RequestTask", "ArrivalSpec",
+                 "RequestStats"):
         assert name in repro.__all__
         assert callable(getattr(repro, name))
 

@@ -1,0 +1,213 @@
+"""Open-loop engine semantics: determinism, arrival generation, lifetime
+scopes, latency accounting, and partial results on OOM (ISSUE 8)."""
+
+import random
+
+import pytest
+
+from repro.errors import OutOfMemory
+from repro.harness.runner import RunOptions, run
+from repro.runtime.vm import VM
+from repro.workloads import ServerMutator, from_mapping
+from repro.workloads.arrivals import generate_arrivals
+from repro.workloads.latency import RequestStats
+from repro.workloads.model import ArrivalSpec
+
+SEED = 13
+
+#: A small but fully-featured mix: every lifetime scope, cache traffic,
+#: session churn.  ~80 requests in 0.1 simulated seconds.
+DOC = {
+    "name": "mini",
+    "duration_s": 0.1,
+    "arrival": {"rate_rps": 800},
+    "sessions": {"max_concurrent": 4, "requests_per_session": [2, 6],
+                 "slots": 6, "seed_objects": 2},
+    "cache": {"slots": 48, "ttl_s": [0.005, 0.02]},
+    "lifetimes": {"idx": {"lo_bytes": 512, "hi_bytes": 4096}},
+    "tasks": [
+        {"name": "get", "weight": 3, "cache_lookups": 2, "reads": 1.5,
+         "request_bytes": [96, 256],
+         "sites": [{"type": "small", "lifetime": "request"}]},
+        {"name": "set", "weight": 1, "request_bytes": [128, 384],
+         "sites": [
+             {"weight": 2, "type": "buf", "lifetime": "cache",
+              "length": [8, 24]},
+             {"weight": 1, "type": "node", "lifetime": "session",
+              "link_prob": 0.5},
+             {"weight": 1, "type": "node", "lifetime": "idx"},
+         ]},
+    ],
+}
+
+
+def serve(collector="25.25.100", heap_kb=96, seed=SEED, doc=None):
+    spec = from_mapping(doc or DOC)
+    vm = VM(heap_kb * 1024, collector=collector, locality=spec.locality,
+            benchmark_name=spec.name)
+    engine = ServerMutator(vm, spec, seed=seed)
+    return engine.run(), engine
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+def test_repeat_runs_bit_identical():
+    a, _ = serve()
+    b, _ = serve()
+    assert a.requests == b.requests
+    assert a.total_cycles == b.total_cycles
+    assert a.gc_cycles == b.gc_cycles
+    assert a.allocated_bytes == b.allocated_bytes
+    assert [p.duration_cycles for p in a.pauses] == \
+        [p.duration_cycles for p in b.pauses]
+
+
+def test_seed_changes_the_run():
+    a, _ = serve(seed=13)
+    b, _ = serve(seed=14)
+    assert a.requests.to_dict() != b.requests.to_dict()
+
+
+def test_offered_load_is_collector_independent():
+    """Open loop: the arrival schedule never depends on service."""
+    a, _ = serve(collector="25.25.100")
+    b, _ = serve(collector="gctk:Appel")
+    assert a.requests.offered == b.requests.offered
+    assert a.requests.count == b.requests.count
+    assert a.allocations == b.allocations
+
+
+# ----------------------------------------------------------------------
+# Arrival generation
+# ----------------------------------------------------------------------
+def test_poisson_arrivals_deterministic_and_sorted():
+    spec = ArrivalSpec(rate_rps=1000.0)
+    a = generate_arrivals(spec, 0.5, random.Random(7))
+    b = generate_arrivals(spec, 0.5, random.Random(7))
+    assert a == b
+    assert a == sorted(a)
+    assert all(t >= 0 for t in a)
+
+
+def test_poisson_rate_approximately_honoured():
+    spec = ArrivalSpec(rate_rps=2000.0)
+    arrivals = generate_arrivals(spec, 2.0, random.Random(3))
+    assert 0.85 * 4000 < len(arrivals) < 1.15 * 4000
+
+
+def test_bursty_mean_rate_matches_spec():
+    spec = ArrivalSpec(process="bursty", rate_rps=500.0,
+                       burst_multiplier=4.0, on_s=0.05, off_s=0.15)
+    arrivals = generate_arrivals(spec, 4.0, random.Random(5))
+    expected = spec.mean_rate_rps * 4.0
+    assert 0.85 * expected < len(arrivals) < 1.15 * expected
+
+
+def test_max_requests_caps_arrivals():
+    spec = ArrivalSpec(rate_rps=5000.0)
+    arrivals = generate_arrivals(spec, 1.0, random.Random(1), max_requests=25)
+    assert len(arrivals) == 25
+
+
+# ----------------------------------------------------------------------
+# Server semantics
+# ----------------------------------------------------------------------
+def test_sessions_open_and_close():
+    stats, engine = serve()
+    r = stats.requests
+    assert r.sessions_opened > 1
+    # the drain closes every connection left open at the end of the run
+    assert r.sessions_closed == r.sessions_opened
+
+
+def test_cache_inserts_and_ttl_expirations():
+    stats, _ = serve()
+    r = stats.requests
+    assert r.cache_inserts > 0
+    assert 0 < r.cache_expirations <= r.cache_inserts
+    assert r.cache_lookups > 0
+    assert 0 <= r.cache_hits <= r.cache_lookups
+
+
+def test_every_arrival_is_served():
+    stats, engine = serve()
+    r = stats.requests
+    assert r.count == r.offered > 0
+    assert stats.completed
+
+
+def test_latency_population_is_consistent():
+    stats, _ = serve()
+    r = stats.requests
+    assert 0 < r.p50_cycles <= r.p90_cycles <= r.p99_cycles
+    assert r.p99_cycles <= r.p999_cycles <= r.max_cycles
+    assert r.mean_cycles * r.count == pytest.approx(r.total_latency_cycles)
+
+
+def test_gc_pauses_land_in_request_timelines():
+    """A tight heap collects during the run; some requests must observe
+    a pause (their latency includes it) and the tail must stretch."""
+    tight, _ = serve(heap_kb=48)
+    roomy, _ = serve(heap_kb=512)
+    assert tight.collections > roomy.collections
+    assert tight.requests.paused_requests > 0
+
+
+def test_mutator_plus_gc_equals_total():
+    stats, _ = serve()
+    assert stats.mutator_cycles + stats.gc_cycles == \
+        pytest.approx(stats.total_cycles)
+
+
+def test_counters_merge_request_metrics():
+    stats, _ = serve()
+    counters = stats.counters()
+    assert counters["request_count_total"] == stats.requests.count
+    assert counters["request_latency_p99_cycles"] == \
+        stats.requests.p99_cycles
+    assert counters["cache_inserts_total"] == stats.requests.cache_inserts
+
+
+# ----------------------------------------------------------------------
+# Failure paths
+# ----------------------------------------------------------------------
+def test_oom_reports_partial_latencies():
+    """Too-small heap: the harness folds the abort into the report and
+    the partial request population is still there."""
+    report = run(from_mapping(DOC), "SS", 4 * 1024,
+                 options=RunOptions(seed=SEED))
+    assert not report.stats.completed
+    r = report.requests
+    assert isinstance(r, RequestStats)
+    assert r.offered > 0
+    assert r.count < r.offered
+
+
+def test_raw_engine_raises_oom():
+    with pytest.raises(OutOfMemory):
+        serve(collector="SS", heap_kb=4)
+
+
+# ----------------------------------------------------------------------
+# Telemetry hooks
+# ----------------------------------------------------------------------
+def test_request_events_emitted_when_tracing():
+    report = run(from_mapping(DOC), "25.25.100", 96 * 1024,
+                 options=RunOptions(seed=SEED, ring_buffer=0))
+    kinds = [e.kind for e in report.events]
+    starts = kinds.count("request.start")
+    ends = kinds.count("request.end")
+    assert starts == ends == report.requests.count
+    end = next(e for e in report.events if e.kind == "request.end")
+    assert end.data["latency_cycles"] > 0
+    assert end.data["task"] in ("get", "set")
+
+
+def test_telemetry_does_not_change_the_run():
+    plain = run(from_mapping(DOC), "25.25.100", 96 * 1024,
+                options=RunOptions(seed=SEED))
+    traced = run(from_mapping(DOC), "25.25.100", 96 * 1024,
+                 options=RunOptions(seed=SEED, ring_buffer=0, counters=True))
+    assert plain.stats.requests == traced.stats.requests
+    assert plain.stats.total_cycles == traced.stats.total_cycles
