@@ -33,6 +33,10 @@ The five names most users need are re-exported here:
   on-disk result store and the batched minimum-heap search
   (:mod:`repro.grid`): pass ``store=ResultStore(path)`` to any of the
   above and reruns replay from disk instead of recomputing;
+* :class:`SLOBound` / :func:`sweep_frontier` / :func:`max_sustainable_rate`
+  — SLO-driven evaluation of server workloads (:mod:`repro.slo`):
+  throughput–latency frontiers with distilled GC cost, and the knee of
+  the frontier under a declared objective;
 * :func:`attach_tracer` — event tracing for a hand-built :class:`VM`;
 * :func:`load_spec` / :func:`load_workload` — unified spec acquisition
   (:mod:`repro.specs`): one loader resolving benchmark names, declarative
@@ -105,6 +109,13 @@ from .sanitizer import (
 )
 from .sim.stats import RunStats
 from .sim.trace import Tracer, attach_tracer
+from .slo import (
+    Frontier,
+    FrontierPoint,
+    SLOBound,
+    max_sustainable_rate,
+    sweep_frontier,
+)
 from .specs import fingerprint, load as load_spec
 from .workloads import (
     ArrivalSpec,
@@ -114,7 +125,7 @@ from .workloads import (
     load_file as load_workload,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     # consolidated run API
@@ -136,6 +147,12 @@ __all__ = [
     "ResultStore",
     "cell_key",
     "find_min_heaps",
+    # SLO-driven evaluation
+    "SLOBound",
+    "Frontier",
+    "FrontierPoint",
+    "sweep_frontier",
+    "max_sustainable_rate",
     # telemetry
     "attach_tracer",
     "Tracer",

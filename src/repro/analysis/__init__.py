@@ -24,6 +24,12 @@ from .series import (
     improvement_percent,
     relative_to_best,
 )
+from .slo import (
+    frontier_series,
+    render_frontier,
+    render_frontier_comparison,
+    render_search_results,
+)
 from .sweep import MAX_RATIO, PAPER_POINTS, SweepResult, heap_multipliers, sweep
 from .tables import format_bytes, render_mmu, render_series, render_table
 
@@ -36,6 +42,7 @@ __all__ = [
     "best_value",
     "default_windows",
     "format_bytes",
+    "frontier_series",
     "geomean_across",
     "geometric_mean",
     "geometry_heatmap",
@@ -48,8 +55,11 @@ __all__ = [
     "overall_utilisation",
     "pause_table",
     "relative_to_best",
+    "render_frontier",
+    "render_frontier_comparison",
     "render_mmu",
     "render_profile",
+    "render_search_results",
     "render_series",
     "render_table",
     "survival_by_label_table",

@@ -10,11 +10,25 @@ percentiles, histograms, and the paper's bounded-mutator-progress view
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from ..quantiles import percentile
+
 Pause = Tuple[float, float]
+
+#: Re-exported for callers that historically imported it from here; the
+#: definition lives in :mod:`repro.quantiles` so request-latency, pause
+#: and streaming-profiler percentiles are one implementation.
+__all__ = [
+    "PauseSummary",
+    "histogram",
+    "percentile",
+    "render_histogram",
+    "summarise",
+    "summarise_events",
+    "worst_cluster",
+]
 
 
 @dataclass(frozen=True)
@@ -35,14 +49,6 @@ class PauseSummary:
             f"p50={self.p50:.0f} p90={self.p90:.0f} p99={self.p99:.0f} "
             f"max={self.max:.0f}"
         )
-
-
-def percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of pre-sorted data (q in [0, 1])."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, math.ceil(q * len(sorted_values)))
-    return sorted_values[rank - 1]
 
 
 def summarise(pauses: Sequence[Pause]) -> PauseSummary:

@@ -1,0 +1,136 @@
+"""Rendering of SLO artefacts: frontier tables, series, search summaries.
+
+The SLO layer's counterpart of :mod:`repro.analysis.tables`: a frontier
+as an aligned console table (one row per offered rate, the distilled GC
+cost alongside the raw percentiles), several frontiers as a figure-shaped
+series (rate ladder x collector), and max-rate searches as a ranking.
+Everything consumes the dataclasses of :mod:`repro.slo` — no re-running,
+so artefacts can be re-rendered from saved JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .tables import format_bytes, render_table
+
+__all__ = [
+    "frontier_series",
+    "render_frontier",
+    "render_frontier_comparison",
+    "render_search_results",
+]
+
+
+def render_frontier(frontier) -> str:
+    """One frontier as a console table (one row per offered rate)."""
+    headers = [
+        "rate(rps)", "req", "p50", "p99", "p99.9", "max",
+        "queue", "GCs", "gc%", "mmu", "gc-overhead%", "p99-infl",
+    ]
+    rows = []
+    for p in frontier.points:
+        if p.distilled is not None:
+            overhead = f"{p.distilled.overhead_pct:8.2f}"
+            inflation = f"{p.distilled.p99_inflation:6.3f}"
+            if not p.distilled.clean:
+                overhead += "*"
+        else:
+            overhead, inflation = "--", "--"
+        status = "" if p.completed else "  FAIL"
+        rows.append([
+            f"{p.rate_rps:9.0f}",
+            f"{p.requests}",
+            f"{p.p50_cycles:10.1f}",
+            f"{p.p99_cycles:10.1f}",
+            f"{p.p999_cycles:10.1f}",
+            f"{p.max_cycles:10.1f}",
+            f"{p.queue_peak}",
+            f"{p.collections}",
+            f"{100 * p.gc_fraction:5.1f}",
+            f"{p.mmu:6.4f}",
+            overhead,
+            inflation + status,
+        ])
+    title = (
+        f"SLO frontier: {frontier.benchmark} / {frontier.collector} @ "
+        f"{format_bytes(frontier.heap_bytes)} "
+        f"(seed={frontier.seed}, scale={frontier.scale:g}, "
+        f"mmu window={frontier.mmu_window_fraction:g} of run)"
+    )
+    notes = []
+    if any(p.distilled is not None and not p.distilled.clean
+           for p in frontier.points):
+        notes.append("* no-GC reference collected; overhead is a lower bound")
+    body = render_table(headers, rows, title)
+    return body + ("\n" + "\n".join(notes) if notes else "")
+
+
+def frontier_series(
+    frontiers: Sequence,
+    field: str = "p99_cycles",
+) -> Tuple[List[float], Dict[str, List[Optional[float]]]]:
+    """Figure-shaped data: the union rate ladder and one series per
+    frontier (keyed by collector), ``None`` where a frontier lacks the
+    rate.  ``field`` is any :class:`~repro.slo.frontier.FrontierPoint`
+    attribute, or ``overhead_pct`` / ``p99_inflation`` from the
+    distilled cost."""
+    ladder = sorted({p.rate_rps for f in frontiers for p in f.points})
+    series: Dict[str, List[Optional[float]]] = {}
+    for frontier in frontiers:
+        by_rate = {p.rate_rps: p for p in frontier.points}
+        values: List[Optional[float]] = []
+        for rate in ladder:
+            point = by_rate.get(rate)
+            if point is None:
+                values.append(None)
+            elif hasattr(point, field):
+                values.append(float(getattr(point, field)))
+            elif point.distilled is not None:
+                values.append(float(getattr(point.distilled, field)))
+            else:
+                values.append(None)
+        series[frontier.collector] = values
+    return ladder, series
+
+
+def render_frontier_comparison(
+    frontiers: Sequence,
+    field: str = "p99_cycles",
+    title: str = "",
+    value_format: str = "{:12.1f}",
+) -> str:
+    """Several frontiers side by side: one row per rate, one column per
+    collector — the Beltway-vs-baseline view of the frontier."""
+    ladder, series = frontier_series(frontiers, field)
+    headers = ["rate(rps)"] + list(series.keys())
+    rows = []
+    for i, rate in enumerate(ladder):
+        row = [f"{rate:9.0f}"]
+        for name in series:
+            value = series[name][i]
+            row.append("--" if value is None else value_format.format(value))
+        rows.append(row)
+    return render_table(
+        headers, rows, title or f"frontier comparison ({field})"
+    )
+
+
+def render_search_results(results: Sequence, slo_description: str = "") -> str:
+    """Max-sustainable-rate searches as a ranking table."""
+    headers = ["collector", "heap", "max rate(rps)", "status", "probes"]
+    rows = []
+    for result in sorted(
+        results, key=lambda r: (-r.rate_rps, r.collector, r.heap_bytes)
+    ):
+        rows.append([
+            result.collector,
+            format_bytes(result.heap_bytes),
+            f"{result.rate_rps}",
+            "knee" if result.saturated else "unsaturated",
+            f"{result.probes}",
+        ])
+    title = "max sustainable rate"
+    if slo_description:
+        title += f" under {slo_description}"
+    return render_table(headers, rows, title)

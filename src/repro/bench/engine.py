@@ -151,6 +151,28 @@ class WorkloadSpec:
         )
 
 
+def no_gc_heap_bytes(spec, factor: int = 16) -> int:
+    """Heap size at which a run of ``spec`` never needs to collect.
+
+    The idealised free-list/infinite-heap reference the SLO distillation
+    subtracts: with the heap sized to a multiple of *everything the run
+    will ever allocate*, no belt fills, no collection triggers, and the
+    measured latencies are pure mutator cost (arrivals are seeded
+    independently of the collector, so the populations stay comparable).
+    ``factor`` 16 leaves room for the spec's ``total_alloc_bytes`` being
+    an estimate for server workloads (request mix and session/cache
+    churn are stochastic) — validated to produce zero collections across
+    the collector families on the bundled specs.  Accepts anything with
+    a ``total_alloc_bytes`` attribute (bench or server specs); the
+    result is frame-aligned so it is a legal heap size.
+    """
+    from ..runtime.vm import EXPERIMENT_FRAME_SHIFT
+
+    frame = 1 << EXPERIMENT_FRAME_SHIFT
+    want = int(spec.total_alloc_bytes) * factor
+    return max(2 * frame, -(-want // frame) * frame)
+
+
 class SyntheticMutator:
     """Executes a WorkloadSpec against a VM."""
 

@@ -24,9 +24,14 @@ package spends:
   cell is durable immediately, so re-running an interrupted campaign
   executes only the missing cells).
 
-* :mod:`repro.grid.minsearch` — the doubling/bisection minimum-heap
-  search as a resumable state machine, so the six benchmarks' searches
-  fan their probes out together instead of bisecting serially.
+* :mod:`repro.grid.monotone` — the doubling/bisection search over a
+  monotone predicate as a resumable state machine
+  (:class:`MonotoneSearch`), shared by the minimum-heap search and the
+  SLO max-sustainable-rate search.
+
+* :mod:`repro.grid.minsearch` — the minimum-heap instantiation, so the
+  six benchmarks' searches fan their probes out together instead of
+  bisecting serially.
 
 The experiment layer (``repro.harness.experiments``, ``beltway-bench
 exp/all/report --store DIR``) runs entirely on top of these; results are
@@ -35,6 +40,7 @@ bit-identical to fresh serial runs by construction and by test.
 
 from .executor import GridFailure, GridReport, execute_jobs
 from .minsearch import find_min_heaps
+from .monotone import MonotoneSearch, round_to_step
 from .store import STORE_FORMAT_VERSION, ResultStore, cell_key
 
 __all__ = [
@@ -43,6 +49,8 @@ __all__ = [
     "STORE_FORMAT_VERSION",
     "GridReport",
     "GridFailure",
+    "MonotoneSearch",
+    "round_to_step",
     "execute_jobs",
     "find_min_heaps",
 ]

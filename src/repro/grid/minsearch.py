@@ -14,16 +14,13 @@ run.
 
 The probe sequence of each search is exactly the sequential algorithm's
 (:func:`repro.harness.runner.find_min_heap` delegates here with a single
-target), so the returned minima are identical by construction:
-
-* Phase ``double``: double from the start guess until a heap completes.
-* Phase ``down`` (start guess already completed): bisect *downward* for
-  the smallest completing multiple of :data:`FRAME_BYTES` — O(log n)
-  probes where the old one-frame-at-a-time walk burned one full run per
-  frame.  Under the same monotonicity assumption the bisection phase has
-  always made, the result equals the linear walk's.
-* Phase ``bisect``: the classic upward bisection between the last
-  failure and the first success.
+target), so the returned minima are identical by construction.  The
+double → downward-bisect → upward-bisect state machine itself is the
+shared :class:`repro.grid.monotone.MonotoneSearch` (the SLO rate search
+drives the same machine over a rate lattice); here the searched value is
+the heap size, the lattice unit is :data:`FRAME_BYTES`, the floor is the
+two-frame minimum heap, and the monotone predicate is "the run
+completes".
 """
 
 from __future__ import annotations
@@ -32,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import OutOfMemory
 from .executor import execute_jobs
+from .monotone import MonotoneSearch, round_to_step
 from .store import ResultStore
 
 #: One search target: (benchmark, collector).
@@ -39,89 +37,24 @@ Target = Tuple[str, str]
 
 
 def _round_frames(nbytes: int, frame_bytes: int) -> int:
-    return max(2 * frame_bytes, (nbytes // frame_bytes) * frame_bytes)
+    return round_to_step(nbytes, frame_bytes, 2 * frame_bytes)
 
 
-class _Search:
-    """One doubling/bisection search, driven probe by probe.
+class _Search(MonotoneSearch):
+    """Minimum-heap instantiation of :class:`MonotoneSearch`.
 
     ``probe()`` names the next heap size to test (``None`` when done);
     ``feed(completed)`` consumes the outcome and advances the state.
+    Kept under its historical name (and heap-flavoured constructor) for
+    the property tests that pin the probe sequence.
     """
 
     def __init__(self, lo: int, max_bytes: int, frame_bytes: int):
+        super().__init__(
+            lo, max_bytes, frame_bytes, floor=2 * frame_bytes
+        )
         self.frame = frame_bytes
         self.max_bytes = max_bytes
-        self.start = lo
-        self.phase = "double"
-        self.lo = lo  # in double/bisect: highest known-failing heap
-        self.hi = lo  # lowest known-completing heap (once one exists)
-        self.result: Optional[int] = None
-        self.failed = False
-        self._pending: Optional[int] = None
-
-    # -- probe selection, one per phase --------------------------------
-    def probe(self) -> Optional[int]:
-        if self.result is not None or self.failed:
-            return None
-        if self.phase == "double":
-            self._pending = self.hi
-        elif self.phase == "down":
-            # Invariant: hi completes; everything at or below lo fails
-            # (lo starts one frame below the 2-frame floor, a virtual
-            # failure — heaps smaller than two frames cannot exist).
-            if self.hi - self.lo <= self.frame:
-                self.result = self.hi
-                return None
-            mid = ((self.lo + self.hi) // 2 // self.frame) * self.frame
-            mid = max(mid, self.lo + self.frame)
-            if mid >= self.hi:
-                self.result = self.hi
-                return None
-            self._pending = mid
-        else:  # bisect (upward): lo fails, hi completes
-            if self.hi - self.lo <= self.frame:
-                self.result = self.hi
-                return None
-            mid = _round_frames((self.lo + self.hi) // 2, self.frame)
-            if mid in (self.lo, self.hi):
-                self.result = self.hi
-                return None
-            self._pending = mid
-        return self._pending
-
-    # -- outcome consumption -------------------------------------------
-    def feed(self, completed: bool) -> None:
-        heap = self._pending
-        self._pending = None
-        if self.phase == "double":
-            if completed:
-                if heap == self.start:
-                    # The start guess may already sit above the minimum:
-                    # bisect down to the smallest completing heap.
-                    self.phase = "down"
-                    self.lo = 2 * self.frame - self.frame
-                    self.hi = heap
-                else:
-                    self.phase = "bisect"
-                    self.lo = heap // 2
-                    self.hi = heap
-            else:
-                doubled = heap * 2
-                if doubled > self.max_bytes:
-                    self.failed = True
-                else:
-                    self.hi = doubled
-        elif self.phase == "down":
-            if completed:
-                self.hi = heap
-            else:
-                self.lo = heap
-        else:  # bisect
-            if completed:
-                self.hi = heap
-            else:
-                self.lo = heap
 
 
 def find_min_heaps(

@@ -166,8 +166,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="heap size (required unless --validate)",
     )
     p_srv.add_argument(
-        "--rate", type=float, default=None, metavar="RPS",
-        help="override the spec's arrival rate (requests per second)",
+        "--rate", default=None, metavar="RPS[,RPS...]",
+        help="override the spec's arrival rate (requests per second); a "
+        "comma-separated ladder runs the workload once per rate",
     )
     p_srv.add_argument(
         "--duration", type=float, default=None, metavar="S",
@@ -183,6 +184,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p_srv)
     _add_grid(p_srv)
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="SLO-driven evaluation of a server workload: throughput-"
+        "latency frontier (--rates) or max-sustainable-rate search "
+        "(--search)",
+    )
+    p_slo.add_argument(
+        "spec",
+        help="server workload spec: a *.json / *.yaml file "
+        "(see examples/workloads/)",
+    )
+    p_slo.add_argument(
+        "--collector", action="append", default=None, metavar="NAME",
+        help="collector to evaluate (repeatable; default 25.25.100)",
+    )
+    p_slo.add_argument(
+        "--heap-kb", type=float, required=True,
+        help="heap size of the measured operating point",
+    )
+    p_slo.add_argument(
+        "--rates", default=None, metavar="R1,R2,...",
+        help="frontier mode: comma-separated ladder of offered rates (rps)",
+    )
+    p_slo.add_argument(
+        "--no-distill", action="store_true",
+        help="frontier mode: skip the no-GC reference cells (no distilled "
+        "GC cost columns)",
+    )
+    p_slo.add_argument(
+        "--mmu-window", type=float, default=0.01, metavar="FRAC",
+        help="MMU window as a fraction of the run (default 0.01)",
+    )
+    p_slo.add_argument(
+        "--search", action="store_true",
+        help="search mode: find the max sustainable rate under the "
+        "declared SLO bounds",
+    )
+    p_slo.add_argument(
+        "--slo-p50-ms", type=float, default=None, metavar="MS",
+        help="SLO bound: p50 request latency (milliseconds)",
+    )
+    p_slo.add_argument(
+        "--slo-p99-ms", type=float, default=None, metavar="MS",
+        help="SLO bound: p99 request latency (milliseconds)",
+    )
+    p_slo.add_argument(
+        "--slo-p999-ms", type=float, default=None, metavar="MS",
+        help="SLO bound: p99.9 request latency (milliseconds)",
+    )
+    p_slo.add_argument(
+        "--slo-mmu", type=float, default=None, metavar="FRAC",
+        help="SLO bound: minimum mutator utilisation at --mmu-window",
+    )
+    p_slo.add_argument(
+        "--rate-step", type=int, default=100, metavar="RPS",
+        help="search mode: rate lattice granularity (default 100)",
+    )
+    p_slo.add_argument(
+        "--max-rate", type=int, default=None, metavar="RPS",
+        help="search mode: ceiling of the searched range "
+        "(default: 16x the start rate)",
+    )
+    p_slo.add_argument(
+        "--start-rate", type=int, default=None, metavar="RPS",
+        help="search mode: first probe (default: the spec's arrival rate)",
+    )
+    p_slo.add_argument(
+        "--json", metavar="PATH", default=None, dest="json_path",
+        help="also write the frontier/search data as JSON",
+    )
+    p_slo.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the rendered tables here (default: stdout)",
+    )
+    _add_common(p_slo)
+    _add_grid(p_slo)
 
     p_exp = sub.add_parser("experiment", help="reproduce one table/figure")
     p_exp.add_argument("name", choices=sorted(ALL_EXPERIMENTS))
@@ -257,6 +335,25 @@ def _run_experiment(name: str, points: int, scale: float) -> bool:
     return not failed
 
 
+def _parse_rates(parser: argparse.ArgumentParser, text: str) -> List[float]:
+    """A comma-separated rate ladder (``"700"`` or ``"600,1200,2400"``)."""
+    rates: List[float] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            rate = float(part)
+        except ValueError:
+            parser.error(f"invalid rate {part!r} in {text!r}")
+        if rate <= 0:
+            parser.error(f"rates must be positive (got {part!r})")
+        rates.append(rate)
+    if not rates:
+        parser.error(f"no rates in {text!r}")
+    return rates
+
+
 def _serve(parser: argparse.ArgumentParser, args) -> int:
     """The ``serve`` subcommand: one open-loop server-workload run."""
     from ..specs import load as load_spec
@@ -273,8 +370,10 @@ def _serve(parser: argparse.ArgumentParser, args) -> int:
             f"{args.spec!r} resolved to the closed-loop benchmark "
             f"{spec.name!r} (use 'run' for those)"
         )
-    if args.rate is not None:
-        spec = spec.with_rate(args.rate)
+    ladder = _parse_rates(parser, args.rate) if args.rate is not None else None
+    if ladder is not None and len(ladder) == 1:
+        spec = spec.with_rate(ladder[0])
+        ladder = None
     if args.duration is not None:
         spec = spec.with_duration(args.duration)
     if args.validate:
@@ -291,6 +390,38 @@ def _serve(parser: argparse.ArgumentParser, args) -> int:
     if args.heap_kb is None:
         parser.error("serve needs --heap-kb (unless --validate)")
     heap_bytes = int(args.heap_kb * KB)
+    if ladder is not None:
+        if args.trace:
+            parser.error(
+                "--trace does not combine with a --rate ladder; "
+                "trace one rate at a time"
+            )
+        store = _open_store(parser, args)
+        from .runner import run_many
+
+        results = run_many(
+            [
+                (spec.with_rate(rate), args.collector, heap_bytes,
+                 args.scale, args.seed)
+                for rate in ladder
+            ],
+            max_workers=args.workers,
+            store=store,
+        )
+        ok = True
+        for rate, stats in zip(ladder, results):
+            ok = ok and stats.completed
+            print(stats.summary_row())
+            requests = stats.requests
+            if requests is not None:
+                print(requests.summary_row())
+                print(
+                    f"latency-cycles {stats.benchmark}/{stats.collector}"
+                    f"@{rate:g}rps: "
+                    f"p50={requests.p50_cycles!r} p99={requests.p99_cycles!r} "
+                    f"p99.9={requests.p999_cycles!r} max={requests.max_cycles!r}"
+                )
+        return _finish_grid(store, 0 if ok else 1)
     store = _open_store(parser, args)
     if store is not None and not args.trace:  # tracing always executes
         from .runner import run_many
@@ -328,6 +459,141 @@ def _serve(parser: argparse.ArgumentParser, args) -> int:
             f"p99.9={requests.p999_cycles!r} max={requests.max_cycles!r}"
         )
     return _finish_grid(store, 0 if stats.completed else 1)
+
+
+def _slo_bound(args):
+    """The SLOBound declared by the ``slo`` flags (None: no bound given)."""
+    from ..slo import SLOBound
+
+    if all(
+        value is None
+        for value in (args.slo_p50_ms, args.slo_p99_ms, args.slo_p999_ms,
+                      args.slo_mmu)
+    ):
+        return None
+    return SLOBound.from_ms(
+        p50=args.slo_p50_ms,
+        p99=args.slo_p99_ms,
+        p999=args.slo_p999_ms,
+        min_mmu=args.slo_mmu,
+        mmu_window_fraction=args.mmu_window,
+    )
+
+
+def _slo(parser: argparse.ArgumentParser, args) -> int:
+    """The ``slo`` subcommand: frontier sweep or max-rate search."""
+    import json
+
+    from ..analysis.slo import (
+        render_frontier,
+        render_frontier_comparison,
+        render_search_results,
+    )
+    from ..slo import max_sustainable_rates, sweep_frontier
+    from ..specs import load as load_spec
+    from ..workloads.model import ServerWorkloadSpec
+
+    try:
+        spec = load_spec(args.spec)
+    except ConfigError as error:
+        print(f"invalid workload spec: {error}", file=sys.stderr)
+        return 1
+    if not isinstance(spec, ServerWorkloadSpec):
+        parser.error(
+            f"'slo' needs a server workload spec file; {args.spec!r} "
+            f"resolved to the closed-loop benchmark {spec.name!r}"
+        )
+    collectors = args.collector or ["25.25.100"]
+    heap_bytes = int(args.heap_kb * KB)
+    slo = _slo_bound(args)
+    if args.search and slo is None:
+        parser.error(
+            "--search needs at least one SLO bound "
+            "(--slo-p50-ms / --slo-p99-ms / --slo-p999-ms / --slo-mmu)"
+        )
+    if not args.search and args.rates is None:
+        parser.error("frontier mode needs --rates (or use --search)")
+    store = _open_store(parser, args)
+    sections: List[str] = []
+    artefact = {}
+
+    if args.search:
+        results = max_sustainable_rates(
+            args.spec,
+            [(collector, heap_bytes) for collector in collectors],
+            slo,
+            rate_step=args.rate_step,
+            max_rate=args.max_rate,
+            start_rate=args.start_rate,
+            scale=args.scale,
+            seed=args.seed,
+            store=store,
+            max_workers=args.workers,
+        )
+        ordered = [results[(c, heap_bytes)] for c in collectors]
+        sections.append(render_search_results(ordered, slo.describe()))
+        sections.append("\n".join(result.line() for result in ordered))
+        artefact["search"] = {
+            "benchmark": spec.name,
+            "slo": slo.describe(),
+            "results": [result.to_dict() for result in ordered],
+        }
+    else:
+        rates = _parse_rates(parser, args.rates)
+        frontiers = [
+            sweep_frontier(
+                args.spec,
+                collector,
+                heap_bytes,
+                rates,
+                scale=args.scale,
+                seed=args.seed,
+                store=store,
+                max_workers=args.workers,
+                distill=not args.no_distill,
+                mmu_window_fraction=args.mmu_window,
+            )
+            for collector in collectors
+        ]
+        for frontier in frontiers:
+            sections.append(render_frontier(frontier))
+        if len(frontiers) > 1:
+            sections.append(render_frontier_comparison(frontiers))
+        sections.append(
+            "\n".join(
+                line for frontier in frontiers
+                for line in frontier.point_lines()
+            )
+        )
+        if slo is not None:
+            sections.append(
+                "\n".join(
+                    f"knee {frontier.benchmark}/{frontier.collector}: "
+                    + (f"{knee:g} rps" if knee is not None else "none")
+                    + f" under {slo.describe()}"
+                    for frontier in frontiers
+                    for knee in (frontier.knee(slo),)
+                )
+            )
+        artefact["frontiers"] = [frontier.to_dict() for frontier in frontiers]
+
+    text = "\n\n".join(sections)
+    try:
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as stream:
+                stream.write(text + "\n")
+            print(f"slo report -> {args.output}")
+        else:
+            print(text)
+        if args.json_path:
+            with open(args.json_path, "w", encoding="utf-8") as stream:
+                json.dump(artefact, stream, indent=1, sort_keys=True)
+                stream.write("\n")
+            print(f"slo JSON -> {args.json_path}")
+    except OSError as error:
+        print(f"error: cannot write slo artefact: {error}", file=sys.stderr)
+        return _finish_grid(store, 1)
+    return _finish_grid(store, 0)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -464,6 +730,8 @@ def _dispatch(parser: argparse.ArgumentParser, args) -> int:
         return 0 if ok else 1
     if args.command == "serve":
         return _serve(parser, args)
+    if args.command == "slo":
+        return _slo(parser, args)
     store = _open_store(parser, args)
     if args.command == "minheap":
         minimum = find_min_heap(

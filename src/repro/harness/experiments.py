@@ -903,6 +903,111 @@ def responsiveness(scale: float = 1.0) -> ExperimentResult:
     return ExperimentResult("responsiveness", text, data, checks)
 
 
+# ----------------------------------------------------------------------
+# Extension: SLO frontier — Beltway vs the Appel baseline under load
+# (the production-shaped question the paper's throughput/MMU numbers
+# circle: what rate can each collector sustain at a fixed heap?)
+# ----------------------------------------------------------------------
+def _slo_workload():
+    """A small built-in kv-style server workload (no file dependency)."""
+    from ..bench.engine import AllocSite
+    from ..workloads.model import ArrivalSpec, RequestTask, ServerWorkloadSpec
+
+    return ServerWorkloadSpec(
+        name="slo-kv",
+        arrival=ArrivalSpec(process="poisson", rate_rps=1200.0),
+        duration_s=0.2,
+        tasks=(
+            RequestTask(
+                name="get",
+                weight=3.0,
+                sites=(
+                    AllocSite(
+                        weight=1.0, type_name="small", lifetime="request"
+                    ),
+                ),
+                request_bytes=(96, 256),
+                cache_lookups=1,
+            ),
+            RequestTask(
+                name="set",
+                weight=1.0,
+                sites=(
+                    AllocSite(
+                        weight=2.0, type_name="node", lifetime="request"
+                    ),
+                    AllocSite(weight=1.0, type_name="node", lifetime="cache"),
+                ),
+                request_bytes=(128, 384),
+                work=6.0,
+            ),
+        ),
+        description="built-in kv-style workload for the slo experiment",
+    )
+
+
+def slo(scale: float = 1.0) -> ExperimentResult:
+    """SLO frontier: Beltway vs the Appel baseline over a rate ladder.
+
+    Runs the built-in kv workload at three offered rates against both
+    collectors at a fixed heap, with the no-GC reference distillation.
+    The shape checks pin the qualitative story: every measured cell
+    completes, tails do not improve as offered load doubles, the no-GC
+    references really never collect, and distilled GC cost is sane
+    (overhead bounded below, inflation ratios at or above ~1).
+    """
+    from ..analysis.slo import render_frontier, render_frontier_comparison
+    from ..slo import sweep_frontier
+
+    spec = _slo_workload()
+    collectors = ["25.25.100", BASELINE]
+    heap = 192 * KB
+    rates = [600.0, 1200.0, 2400.0]
+    frontiers = [
+        sweep_frontier(
+            spec,
+            collector,
+            heap,
+            rates,
+            scale=scale,
+            seed=13,
+            store=_grid["store"],
+            parallel=_grid["parallel"],
+            max_workers=_grid["max_workers"],
+        )
+        for collector in collectors
+    ]
+    data = {
+        frontier.collector: frontier.to_dict() for frontier in frontiers
+    }
+    checks = {}
+    for frontier in frontiers:
+        name = frontier.collector
+        points = frontier.points
+        checks[f"{name}_all_rates_complete"] = all(
+            p.completed for p in points
+        )
+        p99s = [p.p99_cycles for p in points]
+        checks[f"{name}_tail_monotone_with_load"] = all(
+            later >= 0.95 * earlier  # tolerance: tails may plateau
+            for earlier, later in zip(p99s, p99s[1:])
+        )
+        distilled = [p.distilled for p in points if p.distilled is not None]
+        checks[f"{name}_distilled_every_point"] = len(distilled) == len(points)
+        checks[f"{name}_no_gc_reference_clean"] = all(
+            d.clean for d in distilled
+        )
+        checks[f"{name}_distilled_cost_sane"] = all(
+            d.overhead_pct >= -1.0 and d.p99_inflation >= 0.95
+            for d in distilled
+        )
+    text = "\n\n".join(
+        [render_frontier(frontier) for frontier in frontiers]
+        + [render_frontier_comparison(frontiers)]
+    )
+    return ExperimentResult("slo", text, data, checks)
+
+
 #: Every experiment, in paper order (used by the CLI and the bench suite).
 ALL_EXPERIMENTS = {
     "table1": table1,
@@ -917,4 +1022,5 @@ ALL_EXPERIMENTS = {
     "figure10": figure10,
     "figure11": figure11,
     "responsiveness": responsiveness,
+    "slo": slo,
 }

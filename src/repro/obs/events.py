@@ -147,6 +147,37 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "gc_pauses": _NUM,
         "queue_depth": _NUM,
     },
+    # SLO layer: one point of a throughput–latency frontier.  ``time`` is
+    # the point's index in the rate ladder (host-side orchestration, like
+    # ``grid.job``).  Distilled cells enrich with ``overhead_pct`` /
+    # ``p99_inflation`` (extra keys — a sweep with distillation off stays
+    # schema-valid).
+    "slo.point": {
+        "benchmark": (str,),
+        "collector": (str,),
+        "heap_bytes": _NUM,
+        "seed": _NUM,
+        "rate_rps": _NUM,
+        "completed": (bool,),
+        "p50_cycles": _NUM,
+        "p99_cycles": _NUM,
+        "p999_cycles": _NUM,
+        "mmu": _NUM,
+        "gc_fraction": _NUM,
+    },
+    # SLO layer: one step of a max-sustainable-rate search.  ``status`` is
+    # ``probe`` (one rate evaluated; ``ok`` is the SLO verdict), ``knee``
+    # (terminal: ``rate_rps`` is the max sustainable rate) or
+    # ``unsaturated`` (terminal: no violation up to the search ceiling).
+    "slo.search": {
+        "benchmark": (str,),
+        "collector": (str,),
+        "heap_bytes": _NUM,
+        "seed": _NUM,
+        "rate_rps": _NUM,
+        "ok": (bool,),
+        "status": (str,),
+    },
     # Profiler: one heap-geometry sample — per-label [frames, words]
     # occupancy at a collection boundary or periodic snapshot.
     "profiler.geometry": {

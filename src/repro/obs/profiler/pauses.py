@@ -29,7 +29,7 @@ from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...analysis.mmu import pause_time_in
-from ...analysis.pauses import percentile
+from ...quantiles import percentile
 
 #: Default window ladder (cycles) evaluated *during* the stream: geometric
 #: steps of 4x from about 1e3 to 1e9 cycles, bracketing every scaled
@@ -61,7 +61,7 @@ class StreamingPercentiles:
         self.total += duration
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile, identical to ``analysis.pauses``."""
+        """Nearest-rank percentile, the shared ``repro.quantiles`` floats."""
         return percentile(self._sorted, q)
 
     @property

@@ -1,0 +1,40 @@
+"""SLO-driven evaluation: frontiers, distilled GC cost, max-rate search.
+
+The paper's headline metrics — throughput and MMU at a fixed heap — say
+how a collector behaves at one operating point.  A production question is
+shaped differently: *what offered load can this collector sustain while
+the service keeps its latency objective?*  This package answers it with
+three instruments built on the grid executor (every run a cacheable,
+resumable cell):
+
+* :func:`sweep_frontier` — run a server workload over a ladder of offered
+  rates and emit the throughput–latency frontier (p50/p99/p99.9, GC
+  overhead, MMU per point);
+* distilled GC cost — every measured cell is paired with an idealised
+  *no-GC reference* (same spec, same arrivals, heap sized so nothing ever
+  collects) and the difference is reported as latency inflation
+  attributable to collection (:mod:`repro.slo.distill`);
+* :func:`max_sustainable_rate` — the knee of the frontier under a
+  declared :class:`SLOBound`, found by the same doubling/bisection state
+  machine the minimum-heap search uses
+  (:class:`repro.grid.monotone.MonotoneSearch`), probing O(log n) rates
+  instead of walking the ladder.
+"""
+
+from .bounds import SLOBound
+from .distill import DistilledCost, baseline_heap_bytes, distill
+from .frontier import Frontier, FrontierPoint, sweep_frontier
+from .search import SearchResult, max_sustainable_rate, max_sustainable_rates
+
+__all__ = [
+    "DistilledCost",
+    "Frontier",
+    "FrontierPoint",
+    "SLOBound",
+    "SearchResult",
+    "baseline_heap_bytes",
+    "distill",
+    "max_sustainable_rate",
+    "max_sustainable_rates",
+    "sweep_frontier",
+]

@@ -1,0 +1,134 @@
+"""Service-level objectives as a declarative, checkable bound.
+
+An :class:`SLOBound` is the contract side of the frontier: latency
+ceilings on the request percentiles (in cycles, the cost model's unit,
+with millisecond constructors for humans) and an optional minimum
+mutator utilisation.  ``evaluate`` turns one run's
+:class:`~repro.sim.stats.RunStats` into a verdict plus the list of
+violated clauses — the monotone predicate the rate search bisects over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..analysis.mmu import mmu
+from ..sim.cost import CYCLES_PER_SECOND
+
+__all__ = ["SLOBound"]
+
+
+def _ms_to_cycles(ms: float) -> float:
+    return ms * 1e-3 * CYCLES_PER_SECOND
+
+
+@dataclass(frozen=True)
+class SLOBound:
+    """Latency/utilisation objective one run either meets or violates.
+
+    All latency bounds are **cycles** (``None`` = unconstrained); use
+    :meth:`from_ms` to declare them in milliseconds.  ``min_mmu`` bounds
+    the minimum mutator utilisation at a window of
+    ``mmu_window_fraction`` of the run's total time — a fraction rather
+    than an absolute window so one bound is meaningful across scales.
+    A run that did not complete (OOM, grid failure) or produced no
+    request statistics violates every objective by definition.
+    """
+
+    p50_cycles: Optional[float] = None
+    p99_cycles: Optional[float] = None
+    p999_cycles: Optional[float] = None
+    min_mmu: Optional[float] = None
+    mmu_window_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        from ..errors import ConfigError
+
+        bounds = (self.p50_cycles, self.p99_cycles, self.p999_cycles)
+        if all(b is None for b in bounds) and self.min_mmu is None:
+            raise ConfigError("an SLO needs at least one bound")
+        for bound in bounds:
+            if bound is not None and bound <= 0:
+                raise ConfigError("latency bounds must be positive cycles")
+        if self.min_mmu is not None and not 0.0 <= self.min_mmu <= 1.0:
+            raise ConfigError("min_mmu must be in [0, 1]")
+        if not 0.0 < self.mmu_window_fraction <= 1.0:
+            raise ConfigError("mmu_window_fraction must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_ms(
+        cls,
+        p50: Optional[float] = None,
+        p99: Optional[float] = None,
+        p999: Optional[float] = None,
+        min_mmu: Optional[float] = None,
+        mmu_window_fraction: float = 0.01,
+    ) -> "SLOBound":
+        """Millisecond-flavoured constructor (converted via the cost model)."""
+        return cls(
+            p50_cycles=None if p50 is None else _ms_to_cycles(p50),
+            p99_cycles=None if p99 is None else _ms_to_cycles(p99),
+            p999_cycles=None if p999 is None else _ms_to_cycles(p999),
+            min_mmu=min_mmu,
+            mmu_window_fraction=mmu_window_fraction,
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(self, stats) -> Tuple[bool, List[str]]:
+        """Verdict for one run: ``(ok, violated-clause descriptions)``."""
+        if not stats.completed:
+            return False, [f"run failed: {stats.failure or 'incomplete'}"]
+        requests = stats.requests
+        latency_bounds = (
+            ("p50", self.p50_cycles, "p50_cycles"),
+            ("p99", self.p99_cycles, "p99_cycles"),
+            ("p99.9", self.p999_cycles, "p999_cycles"),
+        )
+        reasons: List[str] = []
+        if requests is None:
+            if any(bound is not None for _, bound, _ in latency_bounds):
+                return False, ["no request statistics (not a server run?)"]
+        else:
+            for label, bound, attr in latency_bounds:
+                if bound is None:
+                    continue
+                observed = getattr(requests, attr)
+                if observed > bound:
+                    reasons.append(
+                        f"{label}={observed:.0f} cycles > bound {bound:.0f}"
+                    )
+        if self.min_mmu is not None:
+            observed_mmu = self.mmu_of(stats)
+            if observed_mmu < self.min_mmu:
+                reasons.append(
+                    f"mmu={observed_mmu:.4f} < bound {self.min_mmu:.4f} "
+                    f"(window {self.mmu_window_fraction:g} of run)"
+                )
+        return not reasons, reasons
+
+    def mmu_of(self, stats) -> float:
+        """The MMU this bound constrains: window is a fraction of the run."""
+        total = stats.total_cycles
+        if total <= 0:
+            return 1.0
+        return mmu(
+            stats.pause_intervals(), total, self.mmu_window_fraction * total
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        parts = []
+        for label, bound in (
+            ("p50", self.p50_cycles),
+            ("p99", self.p99_cycles),
+            ("p99.9", self.p999_cycles),
+        ):
+            if bound is not None:
+                parts.append(f"{label}<={bound:.0f}cy")
+        if self.min_mmu is not None:
+            parts.append(
+                f"mmu@{self.mmu_window_fraction:g}>={self.min_mmu:g}"
+            )
+        return " ".join(parts)

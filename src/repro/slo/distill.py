@@ -1,0 +1,111 @@
+"""Distilled GC cost: measured run minus an idealised no-GC reference.
+
+The distillation follows the paper's "garbage collection is a time–space
+trade-off" framing to its limit point: give the same workload a heap so
+large that *nothing ever collects* (the free-list/infinite-heap ideal)
+and whatever latency remains is pure mutator cost — service time plus
+open-loop queueing under the identical arrival sequence (arrivals are
+seeded independently of the collector, so the two latency populations
+are directly comparable).  The difference is the cost attributable to
+collection:
+
+* ``overhead_pct`` — mean request latency inflation, in percent;
+* ``p50/p99/p999 inflation`` — tail stretch ratios (the number an SLO
+  actually buys);
+* ``gc_fraction`` — the analytic share of run time spent collecting
+  (kept alongside: open-loop runs charge idle time to the mutator, so
+  the latency-based numbers are the honest ones).
+
+The reference run is an ordinary grid cell — same spec ref, same
+collector string, heap from :func:`baseline_heap_bytes` — so it is
+cached, shared across every measured heap size at the same rate, and
+replayed warm like everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..bench.engine import no_gc_heap_bytes
+
+__all__ = ["DistilledCost", "baseline_heap_bytes", "distill"]
+
+
+def baseline_heap_bytes(spec) -> int:
+    """The no-GC reference heap for a spec (frame-aligned, 16x the
+    estimated total allocation — validated to trigger zero collections
+    across the collector families on the bundled workloads)."""
+    return no_gc_heap_bytes(spec)
+
+
+def _ratio(measured: float, baseline: float) -> float:
+    return measured / baseline if baseline > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class DistilledCost:
+    """GC-attributable cost of one measured cell vs its no-GC reference."""
+
+    #: Mean-latency inflation in percent: 100 * (measured - ref) / ref.
+    overhead_pct: float
+    p50_inflation: float
+    p99_inflation: float
+    p999_inflation: float
+    #: Analytic share of the measured run's time spent in collection.
+    gc_fraction: float
+    baseline_heap_bytes: int
+    baseline_mean_cycles: float
+    baseline_p99_cycles: float
+    #: Collections in the reference run — 0 when the ideal held; nonzero
+    #: means the reference heap was too small and the distillation is
+    #: contaminated (callers should treat the fields as upper bounds).
+    baseline_collections: int
+
+    @property
+    def clean(self) -> bool:
+        """Whether the reference truly never collected."""
+        return self.baseline_collections == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "overhead_pct": self.overhead_pct,
+            "p50_inflation": self.p50_inflation,
+            "p99_inflation": self.p99_inflation,
+            "p999_inflation": self.p999_inflation,
+            "gc_fraction": self.gc_fraction,
+            "baseline_heap_bytes": self.baseline_heap_bytes,
+            "baseline_mean_cycles": self.baseline_mean_cycles,
+            "baseline_p99_cycles": self.baseline_p99_cycles,
+            "baseline_collections": self.baseline_collections,
+        }
+
+
+def distill(measured, baseline) -> Optional[DistilledCost]:
+    """Distilled cost of ``measured`` against its no-GC ``baseline``.
+
+    Both are :class:`~repro.sim.stats.RunStats` from server runs of the
+    *same spec at the same rate and seed*.  Returns ``None`` when the
+    comparison is undefined — the baseline failed or either side carries
+    no request statistics (a failed measured run still distills: its
+    inflation is reported against the healthy reference so the frontier
+    shows *how far past* the knee the cell sits, as far as it got).
+    """
+    if baseline is None or not baseline.completed:
+        return None
+    ref = baseline.requests
+    got = measured.requests
+    if ref is None or got is None or ref.count == 0:
+        return None
+    mean_ratio = _ratio(got.mean_cycles, ref.mean_cycles)
+    return DistilledCost(
+        overhead_pct=100.0 * (mean_ratio - 1.0) if mean_ratio else 0.0,
+        p50_inflation=_ratio(got.p50_cycles, ref.p50_cycles),
+        p99_inflation=_ratio(got.p99_cycles, ref.p99_cycles),
+        p999_inflation=_ratio(got.p999_cycles, ref.p999_cycles),
+        gc_fraction=measured.gc_fraction,
+        baseline_heap_bytes=baseline.heap_bytes,
+        baseline_mean_cycles=ref.mean_cycles,
+        baseline_p99_cycles=ref.p99_cycles,
+        baseline_collections=baseline.collections,
+    )

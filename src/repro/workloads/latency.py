@@ -6,8 +6,9 @@ as well as service time.  This is the "observed cost" framing of the
 production-GC literature — a collector's pauses matter exactly as much as
 they stretch request tails.
 
-Percentiles use the same nearest-rank definition as the pause analytics
-(:func:`repro.analysis.pauses.percentile`), computed once at the end of the
+Percentiles use the shared nearest-rank definition
+(:func:`repro.quantiles.percentile` — the same floats as the pause
+analytics and the streaming profiler), computed once at the end of the
 run over the full latency population — exact, not streamed, because a run's
 request count is modest (10^3–10^5).
 """
@@ -18,7 +19,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping
 
-from ..analysis.pauses import percentile
+from ..quantiles import percentile
 from ..sim.cost import cycles_to_seconds
 
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Capture fixed-seed SLO frontier goldens.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/data/capture_golden_slo.py [--out PATH]
+
+The resulting JSON pins one frontier sweep (ISSUE 9) of the example
+kvstore workload against two collector families: every
+:class:`FrontierPoint` field including the distilled GC cost, plus the
+exact ``slo-frontier`` lines ``beltway-bench slo`` prints (CI greps the
+golden for those lines to prove bit-identity end to end, cold and warm).
+``tests/slo/test_golden.py`` replays the same sweeps against it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.slo import sweep_frontier
+
+REPO = Path(__file__).resolve().parents[2]
+
+SPEC = "examples/workloads/kvstore.json"
+COLLECTORS = ("25.25.100", "gctk:Appel")
+HEAP_BYTES = 192 * 1024
+RATES = (600.0, 1200.0, 2400.0)
+SCALE = 0.2
+SEED = 13
+
+
+def capture_frontier(collector: str, seed: int = SEED) -> dict:
+    frontier = sweep_frontier(
+        REPO / SPEC, collector, HEAP_BYTES, RATES, scale=SCALE, seed=seed
+    )
+    payload = frontier.to_dict()
+    payload["spec"] = SPEC
+    payload["frontier_lines"] = frontier.point_lines()
+    return payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent / "golden_slo.json")
+    args = parser.parse_args()
+    frontiers = {}
+    for collector in COLLECTORS:
+        frontiers[collector] = capture_frontier(collector, args.seed)
+        print("\n".join(frontiers[collector]["frontier_lines"]))
+    args.out.write_text(json.dumps(
+        {
+            "seed": args.seed,
+            "spec": SPEC,
+            "heap_bytes": HEAP_BYTES,
+            "rates": list(RATES),
+            "scale": SCALE,
+            "frontiers": frontiers,
+        },
+        indent=1, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

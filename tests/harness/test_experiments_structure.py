@@ -87,6 +87,7 @@ def test_experiment_registry_complete():
         "figure10",
         "figure11",
         "responsiveness",
+        "slo",
     }
     assert set(E.ALL_EXPERIMENTS) == expected
     for fn in E.ALL_EXPERIMENTS.values():

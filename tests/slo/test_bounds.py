@@ -1,0 +1,86 @@
+"""SLOBound: validation, ms conversion, and run evaluation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.clock import PauseRecord
+from repro.sim.cost import CYCLES_PER_SECOND
+from repro.sim.stats import RunStats
+from repro.slo import SLOBound
+from repro.workloads.latency import RequestStats
+
+
+def _stats(p99=1000.0, completed=True, requests=True, pauses=(),
+           total=1_000_000.0):
+    stats = RunStats(
+        benchmark="kv", collector="25.25.100", heap_bytes=96 * 1024,
+        completed=completed, total_cycles=total,
+        pauses=[PauseRecord(start=s, end=e, reason="test")
+                for s, e in pauses],
+    )
+    if requests:
+        stats.requests = RequestStats(
+            count=100, offered=100, p50_cycles=p99 / 2, p99_cycles=p99,
+            p999_cycles=p99 * 1.2, max_cycles=p99 * 1.3,
+        )
+    return stats
+
+
+def test_bound_requires_at_least_one_clause():
+    with pytest.raises(ConfigError):
+        SLOBound()
+
+
+def test_bound_rejects_nonsense():
+    with pytest.raises(ConfigError):
+        SLOBound(p99_cycles=-5.0)
+    with pytest.raises(ConfigError):
+        SLOBound(min_mmu=1.5)
+    with pytest.raises(ConfigError):
+        SLOBound(p99_cycles=100.0, mmu_window_fraction=0.0)
+
+
+def test_from_ms_converts_through_cost_model():
+    bound = SLOBound.from_ms(p99=2.0)
+    assert bound.p99_cycles == pytest.approx(2e-3 * CYCLES_PER_SECOND)
+    assert bound.p50_cycles is None and bound.p999_cycles is None
+
+
+def test_evaluate_pass_and_fail():
+    bound = SLOBound(p99_cycles=1500.0)
+    ok, reasons = bound.evaluate(_stats(p99=1000.0))
+    assert ok and reasons == []
+    ok, reasons = bound.evaluate(_stats(p99=2000.0))
+    assert not ok and "p99=" in reasons[0]
+
+
+def test_failed_run_violates_everything():
+    ok, reasons = SLOBound(p99_cycles=1e12).evaluate(
+        _stats(completed=False)
+    )
+    assert not ok and "run failed" in reasons[0]
+
+
+def test_missing_requests_violates_latency_bounds():
+    ok, reasons = SLOBound(p99_cycles=1e12).evaluate(
+        _stats(requests=False)
+    )
+    assert not ok and "no request statistics" in reasons[0]
+
+
+def test_mmu_clause():
+    # One pause of 20% of the window at 1% of a 1e6-cycle run.
+    stats = _stats(pauses=[(1000.0, 3000.0)])
+    strict = SLOBound(min_mmu=0.9, mmu_window_fraction=0.01)
+    ok, reasons = strict.evaluate(stats)
+    assert not ok and "mmu=" in reasons[0]
+    loose = SLOBound(min_mmu=0.5, mmu_window_fraction=0.01)
+    ok, _ = loose.evaluate(stats)
+    assert ok
+    # The pause-free run has unit utilisation.
+    assert strict.mmu_of(_stats()) == 1.0
+
+
+def test_describe_names_every_clause():
+    text = SLOBound(p99_cycles=100.0, min_mmu=0.5).describe()
+    assert "p99<=" in text and "mmu@" in text

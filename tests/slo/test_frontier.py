@@ -1,0 +1,154 @@
+"""Frontier sweeps and the distilled-cost arithmetic (unit level)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.stats import RunStats
+from repro.slo import Frontier, FrontierPoint, SLOBound, sweep_frontier
+from repro.slo.distill import baseline_heap_bytes, distill
+from repro.workloads.latency import RequestStats
+
+from tests.slo.test_search import spec_for, synthetic_runner
+
+
+def _stats(mean=100.0, p99=500.0, completed=True, collections=0,
+           requests=True, heap=1 << 20):
+    stats = RunStats(
+        benchmark="kv", collector="25.25.100", heap_bytes=heap,
+        completed=completed, total_cycles=1e6, gc_cycles=2e4,
+        collections=collections,
+    )
+    if requests:
+        stats.requests = RequestStats(
+            count=50, offered=50, mean_cycles=mean,
+            p50_cycles=mean, p90_cycles=p99 * 0.8, p99_cycles=p99,
+            p999_cycles=p99 * 1.1, max_cycles=p99 * 1.2,
+        )
+    return stats
+
+
+# ----------------------------------------------------------------------
+# distill
+# ----------------------------------------------------------------------
+def test_distill_arithmetic():
+    cost = distill(
+        _stats(mean=150.0, p99=1000.0, collections=3),
+        _stats(mean=100.0, p99=500.0),
+    )
+    assert cost.overhead_pct == pytest.approx(50.0)
+    assert cost.p99_inflation == pytest.approx(2.0)
+    assert cost.gc_fraction == pytest.approx(0.02)
+    assert cost.clean
+    assert cost.baseline_collections == 0
+
+
+def test_distill_contaminated_reference_flagged():
+    cost = distill(_stats(), _stats(collections=2))
+    assert not cost.clean
+
+
+def test_distill_undefined_cases():
+    assert distill(_stats(), None) is None
+    assert distill(_stats(), _stats(completed=False)) is None
+    assert distill(_stats(requests=False), _stats()) is None
+    assert distill(_stats(), _stats(requests=False)) is None
+
+
+def test_baseline_heap_is_frame_aligned_and_generous():
+    spec = spec_for()
+    heap = baseline_heap_bytes(spec)
+    assert heap % 256 == 0
+    assert heap >= 16 * spec.total_alloc_bytes
+
+
+# ----------------------------------------------------------------------
+# sweep_frontier
+# ----------------------------------------------------------------------
+def test_sweep_validates_inputs():
+    with pytest.raises(ConfigError):
+        sweep_frontier("jess", "25.25.100", 96 * 1024, [100.0])
+    with pytest.raises(ConfigError):
+        sweep_frontier(spec_for(), "25.25.100", 96 * 1024, [])
+    with pytest.raises(ConfigError):
+        sweep_frontier(spec_for(), "25.25.100", 96 * 1024, [0.0])
+
+
+def test_sweep_sorts_and_dedupes_the_ladder():
+    frontier = sweep_frontier(
+        spec_for(), "fast", 96 * 1024, [800.0, 400, 800],
+        parallel=False, cell_runner=synthetic_runner,
+    )
+    assert [p.rate_rps for p in frontier.points] == [400.0, 800.0]
+
+
+def test_sweep_without_distillation():
+    frontier = sweep_frontier(
+        spec_for(), "fast", 96 * 1024, [400.0], distill=False,
+        parallel=False, cell_runner=synthetic_runner,
+    )
+    point = frontier.points[0]
+    assert point.distilled is None
+    assert "overhead_pct=None" in frontier.point_lines()[0]
+    assert "distilled" not in point.to_dict()
+
+
+def test_point_events_are_schema_valid():
+    from repro.obs.bus import TelemetryBus
+    from repro.obs.events import validate_event
+
+    class Sink:
+        def __init__(self):
+            self.events = []
+
+        def accept(self, event):
+            self.events.append(event)
+
+    sink = Sink()
+    bus = TelemetryBus()
+    bus.subscribe(sink)
+    frontier = sweep_frontier(
+        spec_for(), "fast", 96 * 1024, [400.0, 800.0],
+        parallel=False, cell_runner=synthetic_runner, bus=bus,
+    )
+    points = [e for e in sink.events if e.kind == "slo.point"]
+    assert len(points) == len(frontier.points)
+    for event in points:
+        validate_event(event)
+        assert "overhead_pct" in event.data  # distilled enrichment
+
+
+# ----------------------------------------------------------------------
+# Frontier.knee / FrontierPoint.meets
+# ----------------------------------------------------------------------
+def _point(rate, p99, mmu=1.0, completed=True):
+    return FrontierPoint(
+        rate_rps=rate, completed=completed, requests=10, offered=10,
+        p50_cycles=p99 / 2, p90_cycles=p99 * 0.9, p99_cycles=p99,
+        p999_cycles=p99, max_cycles=p99, mean_cycles=p99 / 2,
+        queue_peak=0, paused_requests=0, collections=0, gc_fraction=0.0,
+        mmu=mmu,
+    )
+
+
+def test_knee_picks_the_highest_sustainable_rate():
+    frontier = Frontier(
+        benchmark="kv", collector="c", heap_bytes=1, scale=1.0, seed=13,
+        mmu_window_fraction=0.01,
+        points=[
+            _point(400, 100.0),
+            _point(800, 200.0),
+            _point(1600, 900.0),
+            _point(3200, 950.0, completed=False),
+        ],
+    )
+    slo = SLOBound(p99_cycles=500.0)
+    assert frontier.knee(slo) == 800
+    assert frontier.knee(SLOBound(p99_cycles=50.0)) is None
+    # A failed point never meets the SLO, whatever its numbers say.
+    assert not frontier.points[-1].meets(SLOBound(p99_cycles=1e9))
+    # The MMU clause reads the point's stored mmu.
+    low_mmu = Frontier(
+        benchmark="kv", collector="c", heap_bytes=1, scale=1.0, seed=13,
+        mmu_window_fraction=0.01, points=[_point(400, 100.0, mmu=0.2)],
+    )
+    assert low_mmu.knee(SLOBound(min_mmu=0.5)) is None

@@ -1,0 +1,190 @@
+"""Max-sustainable-rate search: knee identity with a linear walk, probe
+budget, lockstep batching, and the unsaturated case.
+
+The search runs against a synthetic cell runner (the grid executor's test
+hook): request p99 is a deterministic monotone function of the offered
+rate with a per-collector knee, so the true knee on any lattice is known
+in closed form and an exhaustive linear walk is cheap to compare against.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.stats import RunStats
+from repro.slo import SLOBound, max_sustainable_rate, max_sustainable_rates
+from repro.workloads.latency import RequestStats
+from repro.workloads.model import ArrivalSpec, ServerWorkloadSpec
+
+from repro.bench.engine import AllocSite
+from repro.workloads.model import RequestTask
+
+#: p99 grows by this many cycles per rps — with a bound of
+#: ``SLOPE * threshold`` the SLO is violated strictly above ``threshold``.
+SLOPE = 10.0
+
+#: Per-collector saturation knee used by the synthetic runner.
+THRESHOLDS = {"fast": 2100, "slow": 700}
+
+
+def synthetic_runner(job):
+    """p99 = SLOPE * rate below the knee, then a sharp queueing blow-up."""
+    spec, collector, heap_bytes, _scale, _seed = job
+    rate = spec.arrival.rate_rps
+    threshold = THRESHOLDS.get(collector, 1000)
+    p99 = SLOPE * rate if rate <= threshold else SLOPE * rate * 100.0
+    stats = RunStats(
+        benchmark=spec.name, collector=collector, heap_bytes=heap_bytes
+    )
+    stats.requests = RequestStats(
+        count=int(rate), offered=int(rate), p50_cycles=p99 / 3,
+        p99_cycles=p99, p999_cycles=p99 * 1.1, max_cycles=p99 * 1.2,
+        mean_cycles=p99 / 2,
+    )
+    stats.total_cycles = 1e6
+    return stats
+
+
+def spec_for(rate=1000.0):
+    return ServerWorkloadSpec(
+        name="synthetic",
+        arrival=ArrivalSpec(rate_rps=rate),
+        duration_s=0.05,
+        tasks=(
+            RequestTask(
+                name="get", weight=1.0,
+                sites=(AllocSite(1.0, "small", "request"),),
+            ),
+        ),
+    )
+
+
+def linear_walk(slo, collector, step, max_rate):
+    """Exhaustive reference: probe every lattice rate upward until the
+    first violation.  Returns (knee, probes)."""
+    spec = spec_for()
+    probes = 0
+    knee = 0
+    rate = step
+    while rate <= max_rate:
+        probes += 1
+        stats = synthetic_runner((spec.with_rate(float(rate)), collector,
+                                  96 * 1024, 1.0, 13))
+        ok, _ = slo.evaluate(stats)
+        if not ok:
+            return knee, probes
+        knee = rate
+        rate += step
+    return knee, probes
+
+
+@pytest.mark.parametrize("threshold", [700, 2100])
+@pytest.mark.parametrize("step", [50, 100])
+def test_knee_matches_linear_walk_with_half_the_probes(threshold, step):
+    """Acceptance: the bisection finds the linear walk's knee on a dense
+    lattice in at most half the probes."""
+    collector = {700: "slow", 2100: "fast"}[threshold]
+    slo = SLOBound(p99_cycles=SLOPE * threshold)
+    max_rate = 6400
+    expected_knee, linear_probes = linear_walk(slo, collector, step, max_rate)
+    result = max_sustainable_rate(
+        spec_for(), collector, 96 * 1024, slo,
+        rate_step=step, max_rate=max_rate, parallel=False,
+        cell_runner=synthetic_runner,
+    )
+    assert result.saturated
+    assert result.rate_rps == expected_knee
+    assert result.first_violation == expected_knee + step
+    assert result.probes <= linear_probes / 2, (
+        f"bisection used {result.probes} probes, "
+        f"linear walk used {linear_probes}"
+    )
+
+
+def test_many_targets_search_in_lockstep():
+    slo = SLOBound(p99_cycles=SLOPE * 2100)
+    results = max_sustainable_rates(
+        spec_for(), [("fast", 96 * 1024), ("slow", 96 * 1024)], slo,
+        rate_step=100, max_rate=6400, parallel=False,
+        cell_runner=synthetic_runner,
+    )
+    # fast's p99 bound is at its own knee; slow blows up at 700 already.
+    assert results[("fast", 96 * 1024)].rate_rps == 2100
+    assert results[("slow", 96 * 1024)].rate_rps == 700
+    for result in results.values():
+        assert result.saturated
+        # Every probe's verdict was recorded with its violated clauses.
+        assert any(not ok for ok, _ in result.evaluations.values())
+
+
+def test_unsaturated_when_the_slo_always_holds():
+    slo = SLOBound(p99_cycles=SLOPE * 10_000_000)
+    result = max_sustainable_rate(
+        spec_for(), "fast", 96 * 1024, slo,
+        rate_step=100, max_rate=3200, parallel=False,
+        cell_runner=synthetic_runner,
+    )
+    assert not result.saturated
+    assert result.first_violation is None
+    # The reported rate is the highest *probed* rate, on the lattice.
+    assert result.rate_rps % 100 == 0
+    assert 0 < result.rate_rps <= 3200
+    assert result.evaluations[result.rate_rps][0] is True
+
+
+def test_violation_at_the_floor_means_zero_rate():
+    slo = SLOBound(p99_cycles=1.0)  # violated at every positive rate
+    result = max_sustainable_rate(
+        spec_for(), "fast", 96 * 1024, slo,
+        rate_step=100, max_rate=3200, parallel=False,
+        cell_runner=synthetic_runner,
+    )
+    assert result.saturated
+    assert result.rate_rps == 0
+    assert result.first_violation == 100
+
+
+def test_search_events_are_schema_valid():
+    from repro.obs.bus import TelemetryBus
+    from repro.obs.events import validate_event
+
+    class Sink:
+        def __init__(self):
+            self.events = []
+
+        def accept(self, event):
+            self.events.append(event)
+
+    sink = Sink()
+    bus = TelemetryBus()
+    bus.subscribe(sink)
+    slo = SLOBound(p99_cycles=SLOPE * 700)
+    result = max_sustainable_rate(
+        spec_for(), "slow", 96 * 1024, slo,
+        rate_step=100, max_rate=3200, parallel=False,
+        cell_runner=synthetic_runner, bus=bus,
+    )
+    search_events = [e for e in sink.events if e.kind == "slo.search"]
+    assert search_events, "search emitted no slo.search events"
+    for event in search_events:
+        validate_event(event)
+    terminal = [e for e in search_events if e.data["status"] != "probe"]
+    assert len(terminal) == 1
+    assert terminal[0].data["status"] == "knee"
+    assert terminal[0].data["rate_rps"] == result.rate_rps
+    probes = [e for e in search_events if e.data["status"] == "probe"]
+    assert len(probes) == result.probes
+
+
+def test_search_rejects_bad_configuration():
+    slo = SLOBound(p99_cycles=100.0)
+    with pytest.raises(ConfigError):
+        max_sustainable_rate(
+            spec_for(), "fast", 96 * 1024, slo, rate_step=0,
+        )
+    with pytest.raises(ConfigError):
+        max_sustainable_rate(
+            spec_for(), "fast", 96 * 1024, slo,
+            rate_step=100, max_rate=400, start_rate=1600,
+        )
+    with pytest.raises(ConfigError):
+        max_sustainable_rate("jess", "fast", 96 * 1024, slo)

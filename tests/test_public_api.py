@@ -24,7 +24,8 @@ def test_every_module_imports():
     "package",
     ["repro", "repro.heap", "repro.core", "repro.analysis", "repro.sim",
      "repro.bench", "repro.runtime", "repro.gctk", "repro.obs",
-     "repro.harness", "repro.sanitizer", "repro.workloads", "repro.grid"],
+     "repro.harness", "repro.sanitizer", "repro.workloads", "repro.grid",
+     "repro.slo"],
 )
 def test_all_exports_resolve(package):
     module = importlib.import_module(package)
@@ -33,7 +34,7 @@ def test_all_exports_resolve(package):
 
 
 def test_version():
-    assert repro.__version__ == "1.5.0"
+    assert repro.__version__ == "1.6.0"
 
 
 def test_stable_run_surface():
@@ -44,7 +45,8 @@ def test_stable_run_surface():
                  "arm_faults", "FaultSpec",
                  "load_spec", "fingerprint", "load_workload",
                  "ServerWorkloadSpec", "RequestTask", "ArrivalSpec",
-                 "RequestStats"):
+                 "RequestStats",
+                 "SLOBound", "sweep_frontier", "max_sustainable_rate"):
         assert name in repro.__all__
         assert callable(getattr(repro, name))
 

@@ -106,6 +106,42 @@ def test_serve_through_grid_store(tmp_path, capsys):
         [l for l in second.splitlines() if l.startswith("latency-cycles")]
 
 
+def test_serve_rate_ladder_prints_one_line_per_rate(tmp_path, capsys):
+    spec = mini_file(tmp_path)
+    code = main(["serve", spec, "--collector", "25.25.100",
+                 "--heap-kb", "96", "--no-store", "--rate", "400,800"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "latency-cycles mini/25.25.100@400rps:" in out
+    assert "latency-cycles mini/25.25.100@800rps:" in out
+
+
+def test_serve_single_rate_keeps_unsuffixed_format(tmp_path, capsys):
+    spec = mini_file(tmp_path)
+    code = main(["serve", spec, "--collector", "25.25.100",
+                 "--heap-kb", "96", "--no-store", "--rate", "2000"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "latency-cycles mini/25.25.100:" in out
+    assert "@" not in next(
+        l for l in out.splitlines() if l.startswith("latency-cycles"))
+
+
+def test_serve_rate_ladder_rejects_trace(tmp_path):
+    spec = mini_file(tmp_path)
+    with pytest.raises(SystemExit):
+        main(["serve", spec, "--heap-kb", "96", "--no-store",
+              "--rate", "400,800", "--trace", str(tmp_path / "t.jsonl")])
+
+
+def test_serve_rate_ladder_rejects_garbage(tmp_path):
+    spec = mini_file(tmp_path)
+    for bad in ("0", "400,-8", "nope", ","):
+        with pytest.raises(SystemExit):
+            main(["serve", spec, "--heap-kb", "96", "--no-store",
+                  "--rate", bad])
+
+
 def test_run_subcommand_accepts_workload_file(tmp_path, capsys):
     spec = mini_file(tmp_path)
     code = main(["run", "--benchmark", spec, "--collector", "25.25.100",
