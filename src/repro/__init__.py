@@ -38,6 +38,11 @@ The five names most users need are re-exported here:
   throughput–latency frontiers with distilled GC cost, and the knee of
   the frontier under a declared objective;
 * :func:`attach_tracer` — event tracing for a hand-built :class:`VM`;
+* :func:`build_timeline` / :class:`TraceExportSink` — the span model
+  (:mod:`repro.obs.trace`): fold any telemetry stream into hierarchical
+  run → gc → phase spans and export Chrome trace-event / Perfetto JSON;
+  :func:`compare_artefacts` diffs two trace/report artefacts
+  (``beltway-bench compare``);
 * :func:`load_spec` / :func:`load_workload` — unified spec acquisition
   (:mod:`repro.specs`): one loader resolving benchmark names, declarative
   ``.json``/``.yaml`` workload files and spec objects, used by every entry
@@ -65,6 +70,13 @@ or, driving a VM by hand::
     stats = vm.finish()             # cost-model run statistics
 """
 
+from .analysis.compare import (
+    ArtefactError,
+    CompareResult,
+    compare_artefacts,
+    compare_metrics,
+    extract_metrics,
+)
 from .analysis.sweep import sweep
 from .core.beltway import BeltwayHeap
 from .core.config import PAPER_CONFIGS, BeltSpec, BeltwayConfig, PromotionStyle
@@ -87,6 +99,7 @@ from .harness.runner import (
 from .obs import (
     CounterSink,
     Event,
+    JsonlLoadReport,
     JsonlSink,
     ProfileOptions,
     ProfileReport,
@@ -94,7 +107,17 @@ from .obs import (
     RingBufferSink,
     TelemetryBus,
     attach_profiler,
+    iter_jsonl,
     load_jsonl,
+)
+from .obs.trace import (
+    Span,
+    Timeline,
+    TraceExportSink,
+    build_timeline,
+    to_perfetto,
+    validate_perfetto,
+    write_perfetto,
 )
 from .runtime.mutator import MutatorContext
 from .runtime.roots import Handle
@@ -125,7 +148,7 @@ from .workloads import (
     load_file as load_workload,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     # consolidated run API
@@ -162,6 +185,22 @@ __all__ = [
     "RingBufferSink",
     "CounterSink",
     "load_jsonl",
+    "iter_jsonl",
+    "JsonlLoadReport",
+    # span model + trace export
+    "Span",
+    "Timeline",
+    "TraceExportSink",
+    "build_timeline",
+    "to_perfetto",
+    "validate_perfetto",
+    "write_perfetto",
+    # artefact comparison
+    "ArtefactError",
+    "CompareResult",
+    "compare_artefacts",
+    "compare_metrics",
+    "extract_metrics",
     # profiler
     "attach_profiler",
     "Profiler",

@@ -1,5 +1,14 @@
 """Analysis layer: sweeps, normalisation, MMU curves, table rendering."""
 
+from .compare import (
+    ArtefactError,
+    CompareResult,
+    MetricDelta,
+    compare_artefacts,
+    compare_metrics,
+    extract_metrics,
+    metric_direction,
+)
 from .mmu import (
     default_windows,
     max_pause,
@@ -34,13 +43,20 @@ from .sweep import MAX_RATIO, PAPER_POINTS, SweepResult, heap_multipliers, sweep
 from .tables import format_bytes, render_mmu, render_series, render_table
 
 __all__ = [
+    "ArtefactError",
+    "CompareResult",
     "GAP",
     "MAX_RATIO",
+    "MetricDelta",
     "PAPER_POINTS",
     "SweepResult",
     "attribution_table",
     "best_value",
+    "compare_artefacts",
+    "compare_metrics",
     "default_windows",
+    "extract_metrics",
+    "metric_direction",
     "format_bytes",
     "frontier_series",
     "geomean_across",

@@ -93,6 +93,7 @@ def sweep(
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
     store=None,
+    bus=None,
 ) -> SweepResult:
     """Run ``collector`` on ``benchmark`` at every heap size in the grid.
 
@@ -130,7 +131,7 @@ def sweep(
     )
     result.execution_mode = "parallel" if use_pool else "serial"
     result.runs.extend(
-        run_many(jobs, parallel=use_pool, max_workers=max_workers, store=store)
+        run_many(jobs, parallel=use_pool, max_workers=max_workers, store=store, bus=bus)
     )
     return result
 
@@ -145,6 +146,7 @@ def sweep_grid(
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
     store=None,
+    bus=None,
 ) -> Dict[Tuple[str, str], SweepResult]:
     """Run the full (benchmark, collector, multiplier) grid of a figure.
 
@@ -172,7 +174,7 @@ def sweep_grid(
         len(jobs), parallel is not False, max_workers
     )
     mode = "parallel" if use_pool else "serial"
-    runs = run_many(jobs, parallel=use_pool, max_workers=max_workers, store=store)
+    runs = run_many(jobs, parallel=use_pool, max_workers=max_workers, store=store, bus=bus)
     out: Dict[Tuple[str, str], SweepResult] = {}
     for i, (b, c) in enumerate(pairs):
         result = SweepResult(

@@ -29,17 +29,35 @@ where the wall-clock goes:
   :class:`GridFailure` record; they are never written to the store.
 
 * **Progress events.**  With a ``bus``, every cell emits a ``grid.job``
-  telemetry event (``status`` ∈ cached/done/failed/retry) so campaign
-  progress is observable like any other run telemetry.
+  telemetry event (``status`` ∈ cached/done/failed/retry) carrying the
+  producing worker pid, the cell's input ordinal, and campaign totals so
+  far — live progress is computable from the bus alone.
+
+* **Telemetry relay.**  With a ``bus`` and the default cell runner, each
+  worker attaches a bounded :class:`~repro.obs.relay.ForwardingSink` to
+  its private run; the buffered events ride home in the pickled result
+  and are replayed onto the coordinator bus tagged with ``worker`` /
+  ``job`` / ``key`` (see :mod:`repro.obs.relay` for the drop contract).
+  Cells served from the store emit one ``run.replay`` event instead,
+  carrying the stored pause list so warm campaigns still produce a full
+  span timeline.
 """
 
 from __future__ import annotations
 
+import functools
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
+from ..obs.relay import (
+    DEFAULT_FORWARD_CAPACITY,
+    ForwardedCell,
+    ForwardingSink,
+    replay_events,
+)
 from ..sim.stats import RunStats
 from .store import ResultStore, cell_key
 
@@ -75,6 +93,11 @@ class GridReport:
     #: How the missing cells ran: ``"parallel"``, ``"serial"``, or
     #: ``"none"`` when the store served everything.
     execution_mode: str = "none"
+    #: Worker telemetry events replayed onto the coordinator bus.
+    forwarded_events: int = 0
+    #: Worker telemetry events lost to forwarding-buffer overflow
+    #: (counted per cell, summed here; the CLI summary reports them).
+    forwarded_dropped: int = 0
     wall_s: float = 0.0
 
 
@@ -82,6 +105,28 @@ def _default_runner(job: Job) -> RunStats:
     from ..harness.runner import _run_job
 
     return _run_job(job)
+
+
+def _run_job_forwarded(job: Job, capacity: Optional[int]) -> ForwardedCell:
+    """Execute one cell with a bounded forwarding sink on its private bus.
+
+    Module-level (and dispatched via :func:`functools.partial`) so the
+    pool can pickle it.  The returned :class:`ForwardedCell` carries the
+    stats plus the retained telemetry prefix and the overflow count; the
+    coordinator replays the events onto its own bus.
+    """
+    from ..harness.runner import RunOptions, run
+
+    benchmark, collector, heap_bytes, scale, seed = job
+    sink = ForwardingSink(capacity)
+    options = RunOptions(scale=scale, seed=seed, sinks=(sink,))
+    stats = run(benchmark, collector, heap_bytes, options=options).stats
+    return ForwardedCell(
+        result=stats,
+        events=sink.events,
+        dropped=sink.dropped,
+        worker=os.getpid(),
+    )
 
 
 def _guarded(runner: Optional[Callable[[Job], RunStats]], job: Job):
@@ -118,35 +163,92 @@ def _failed_stats(job: Job, error: str) -> RunStats:
     )
 
 
+def _job_identity(job: Job) -> Dict[str, object]:
+    benchmark, collector, heap_bytes, scale, seed = job
+    return {
+        "benchmark": benchmark
+        if isinstance(benchmark, str)
+        else getattr(benchmark, "name", str(benchmark)),
+        "collector": str(collector),
+        "heap_bytes": heap_bytes,
+        "scale": scale,
+        "seed": seed,
+    }
+
+
 class _Emitter:
-    """``grid.job`` events on an optional telemetry bus; time is the
-    dispatch sequence number (grid events are host-side, not simulated)."""
+    """``grid.job`` / ``run.replay`` events on an optional telemetry bus;
+    time is the dispatch sequence number (grid events are host-side
+    orchestration, not simulated-clock phenomena).
+
+    Tracks campaign totals so every ``grid.job`` event carries the
+    cached/executed/failed counts *including itself* — live progress is
+    computable from the bus alone, no report object needed.
+    """
 
     def __init__(self, bus):
         self.bus = bus
         self.seq = 0
+        self.cached = 0
+        self.executed = 0
+        self.failed = 0
 
-    def emit(self, job: Job, key: str, status: str, attempt: int = 0) -> None:
+    def emit(
+        self,
+        job: Job,
+        key: str,
+        status: str,
+        attempt: int = 0,
+        *,
+        index: int,
+        worker: int = 0,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> None:
         self.seq += 1
+        if status == "cached":
+            self.cached += 1
+        elif status == "done":
+            self.executed += 1
+        elif status == "failed":
+            self.failed += 1
         if self.bus is None:
             return
-        benchmark, collector, heap_bytes, scale, seed = job
-        self.bus.emit(
-            "grid.job",
-            float(self.seq),
+        data = _job_identity(job)
+        data.update(
             {
-                "benchmark": benchmark
-                if isinstance(benchmark, str)
-                else getattr(benchmark, "name", str(benchmark)),
-                "collector": str(collector),
-                "heap_bytes": heap_bytes,
-                "scale": scale,
-                "seed": seed,
                 "key": key,
                 "status": status,
                 "attempt": attempt,
-            },
+                "job": index,
+                "worker": worker,
+                "cached": self.cached,
+                "executed": self.executed,
+                "failed": self.failed,
+            }
         )
+        if extra:
+            data.update(extra)
+        self.bus.emit("grid.job", float(self.seq), data)
+
+    def replay(self, job: Job, key: str, index: int, stats: RunStats) -> None:
+        """One ``run.replay`` event for a store-served cell: everything
+        the span layer needs to synthesize the cell's timeline."""
+        self.seq += 1
+        if self.bus is None:
+            return
+        data = _job_identity(job)
+        data.update(
+            {
+                "key": key,
+                "job": index,
+                "completed": stats.completed,
+                "total_cycles": float(stats.total_cycles),
+                "gc_cycles": float(stats.gc_cycles),
+                "collections": stats.collections,
+                "pauses": [[p.start, p.end, p.reason] for p in stats.pauses],
+            }
+        )
+        self.bus.emit("run.replay", float(self.seq), data)
 
 
 def execute_jobs(
@@ -159,6 +261,8 @@ def execute_jobs(
     bus=None,
     cell_runner: Optional[Callable[[Job], RunStats]] = None,
     force_pool: bool = False,
+    forward_telemetry: Optional[bool] = None,
+    forward_capacity: Optional[int] = DEFAULT_FORWARD_CAPACITY,
 ) -> GridReport:
     """Run a batch of grid cells through the store and the executor.
 
@@ -169,6 +273,13 @@ def execute_jobs(
     module-level callable when a pool is involved).  ``force_pool``
     bypasses the single-CPU veto so the pool path stays testable on
     one-core runners; real callers never need it.
+
+    ``forward_telemetry=None`` forwards worker telemetry exactly when it
+    can land somewhere: a ``bus`` is attached and the cell runner is the
+    real run (a custom ``cell_runner`` may opt in by returning
+    :class:`~repro.obs.relay.ForwardedCell` values itself — the unwrap
+    below handles either).  ``forward_capacity`` bounds the per-cell
+    buffer (``None`` = unbounded; see :mod:`repro.obs.relay`).
     """
     from ..harness.runner import effective_workers, should_parallelise
 
@@ -176,6 +287,15 @@ def execute_jobs(
     jobs = [tuple(job) for job in jobs]
     report = GridReport(results=[None] * len(jobs))
     emitter = _Emitter(bus)
+
+    forward = (
+        forward_telemetry
+        if forward_telemetry is not None
+        else (bus is not None and cell_runner is None)
+    )
+    runner = cell_runner
+    if forward and cell_runner is None:
+        runner = functools.partial(_run_job_forwarded, capacity=forward_capacity)
 
     keys: List[Optional[str]] = []
     for job in jobs:
@@ -198,7 +318,10 @@ def execute_jobs(
         if cached is not None:
             report.results[i] = cached
             report.cached += 1
-            emitter.emit(job, key, "cached")
+            emitter.emit(job, key, "cached", index=i)
+            # Warm replays still need a timeline: the stored stats carry
+            # no event stream, so ship the pause list in one event.
+            emitter.replay(job, key, i, cached)
         else:
             missing.append(i)
 
@@ -216,17 +339,42 @@ def execute_jobs(
     )
     report.execution_mode = "parallel" if use_pool else "serial"
 
-    def finish(i: int, stats: RunStats) -> None:
+    def finish(i: int, value) -> None:
+        worker = 0
+        stats = value
+        extra = None
+        if isinstance(value, ForwardedCell):
+            stats = value.result
+            worker = value.worker
+            replayed = 0
+            if bus is not None:
+                replayed = replay_events(
+                    bus,
+                    value.events,
+                    worker=value.worker,
+                    job=i,
+                    key=keys[i] or "",
+                )
+            report.forwarded_events += replayed
+            report.forwarded_dropped += value.dropped
+            # Loss accounting rides on the terminal event so bus-side
+            # consumers (DropTally, the trace file itself) see it too.
+            extra = {
+                "forwarded_events": replayed,
+                "forwarded_dropped": value.dropped,
+            }
         report.results[i] = stats
         report.executed.append(jobs[i])
         if store is not None and keys[i] is not None:
             store.put(keys[i], stats)
-        emitter.emit(jobs[i], keys[i] or "", "done")
+        emitter.emit(
+            jobs[i], keys[i] or "", "done", index=i, worker=worker, extra=extra
+        )
 
     def run_serially(indices: List[int], attempts: Dict[int, int]) -> None:
         for i in indices:
             while True:
-                status, value = _guarded(cell_runner, jobs[i])
+                status, value = _guarded(runner, jobs[i])
                 if status == "ok":
                     finish(i, value)
                     break
@@ -236,10 +384,14 @@ def execute_jobs(
                         GridFailure(jobs[i], value, attempts[i])
                     )
                     report.results[i] = _failed_stats(jobs[i], value)
-                    emitter.emit(jobs[i], keys[i] or "", "failed", attempts[i])
+                    emitter.emit(
+                        jobs[i], keys[i] or "", "failed", attempts[i], index=i
+                    )
                     break
                 report.retries += 1
-                emitter.emit(jobs[i], keys[i] or "", "retry", attempts[i])
+                emitter.emit(
+                    jobs[i], keys[i] or "", "retry", attempts[i], index=i
+                )
 
     attempts: Dict[int, int] = {}
     if not use_pool:
@@ -257,7 +409,7 @@ def execute_jobs(
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(_guarded, cell_runner, jobs[i]): i
+                    pool.submit(_guarded, runner, jobs[i]): i
                     for i in unfinished
                 }
                 pending = set(futures)
@@ -277,15 +429,17 @@ def execute_jobs(
                                 )
                                 report.results[i] = _failed_stats(jobs[i], value)
                                 emitter.emit(
-                                    jobs[i], keys[i] or "", "failed", attempts[i]
+                                    jobs[i], keys[i] or "", "failed",
+                                    attempts[i], index=i,
                                 )
                                 unfinished.remove(i)
                             else:
                                 report.retries += 1
                                 emitter.emit(
-                                    jobs[i], keys[i] or "", "retry", attempts[i]
+                                    jobs[i], keys[i] or "", "retry",
+                                    attempts[i], index=i,
                                 )
-                                retry = pool.submit(_guarded, cell_runner, jobs[i])
+                                retry = pool.submit(_guarded, runner, jobs[i])
                                 futures[retry] = i
                                 pending.add(retry)
         except BrokenProcessPool:
@@ -296,7 +450,7 @@ def execute_jobs(
             report.retries += len(unfinished)
             for i in unfinished:
                 attempts[i] = attempts.get(i, 0) + 1
-                emitter.emit(jobs[i], keys[i] or "", "retry", attempts[i])
+                emitter.emit(jobs[i], keys[i] or "", "retry", attempts[i], index=i)
             run_serially(unfinished, attempts)
 
     if store is not None and report.executed:

@@ -71,6 +71,12 @@ def _add_grid(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=None, metavar="N",
         help="cap the worker processes of parallel batches",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="stream telemetry as JSON lines: campaign progress "
+        "(grid.job), relayed worker run events, and cached-cell replays "
+        "— one merged timeline (convert with 'beltway-bench trace')",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,10 +184,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate", action="store_true",
         help="validate the spec file and exit without running",
     )
-    p_srv.add_argument(
-        "--trace", metavar="PATH", default=None,
-        help="stream telemetry (request.start/end, gc, …) as JSON lines",
-    )
     _add_common(p_srv)
     _add_grid(p_srv)
 
@@ -275,6 +277,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_all)
     _add_grid(p_all)
 
+    p_tr = sub.add_parser(
+        "trace",
+        help="convert a --trace JSONL artefact to Chrome trace-event / "
+        "Perfetto JSON (opens in ui.perfetto.dev)",
+    )
+    p_tr.add_argument(
+        "artefact", help="telemetry JSONL file written by --trace"
+    )
+    p_tr.add_argument(
+        "-o", "--output", metavar="PATH", default=None,
+        help="output path (default: <artefact stem>.perfetto.json)",
+    )
+
+    p_cmp = sub.add_parser(
+        "compare",
+        help="diff two artefacts (trace JSONL or 'slo --json' documents): "
+        "counters, pause percentiles, MMU, request latencies, knees",
+    )
+    p_cmp.add_argument("baseline", help="artefact A (the baseline)")
+    p_cmp.add_argument("candidate", help="artefact B (the candidate)")
+    p_cmp.add_argument(
+        "--threshold", type=float, default=5.0, metavar="PCT",
+        help="relative regression threshold in percent (default 5)",
+    )
+    p_cmp.add_argument(
+        "--metric-threshold", action="append", default=None,
+        metavar="NAME=PCT", dest="metric_thresholds",
+        help="per-metric threshold override (leaf or full metric name; "
+        "repeatable)",
+    )
+    p_cmp.add_argument(
+        "--verbose", action="store_true",
+        help="also list unchanged-but-differing direction-free metrics",
+    )
+
     p_rep = sub.add_parser("report", help="write a full markdown report")
     p_rep.add_argument("--output", default="beltway-report.md")
     p_rep.add_argument("--points", type=int, default=9)
@@ -288,9 +325,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _open_store(parser: argparse.ArgumentParser, args):
+def _open_store(parser: argparse.ArgumentParser, args, bus=None):
     """Resolve the grid flags of one invocation to a ResultStore (or None)
-    and point the experiment layer at it."""
+    and point the experiment layer at it (and at the campaign bus)."""
     if not hasattr(args, "store"):
         return None
     if args.resume and not args.store:
@@ -302,12 +339,51 @@ def _open_store(parser: argparse.ArgumentParser, args):
         store = ResultStore(args.store)
     from . import experiments
 
-    experiments.configure_grid(store=store, max_workers=args.workers)
+    experiments.configure_grid(store=store, max_workers=args.workers, bus=bus)
     return store
 
 
-def _finish_grid(store, code: int) -> int:
-    """Close the store, print the campaign summary, pass the exit code on."""
+def _campaign_bus(args):
+    """The ``--trace`` campaign telemetry: a bus streaming to JSONL.
+
+    Returns ``(bus, close)`` — ``bus`` is ``None`` without ``--trace``;
+    ``close()`` flushes the sink and prints the trace summary line,
+    including the relay's drop count when any worker events were lost
+    (drops are never silent, see :mod:`repro.obs.relay`).
+    """
+    if not getattr(args, "trace", None):
+        return None, lambda: None
+    from ..obs import JsonlSink, TelemetryBus
+    from ..obs.relay import DropTally
+
+    bus = TelemetryBus()
+    sink = bus.subscribe(JsonlSink(args.trace))
+    tally = bus.subscribe(DropTally())
+
+    def close() -> None:
+        count = sink.count
+        bus.close()
+        line = f"trace: {count} events -> {args.trace}"
+        if tally.dropped:
+            line += (
+                f" ({tally.dropped} worker events dropped at the "
+                f"forwarding buffer)"
+            )
+        print(line)
+
+    return bus, close
+
+
+def _finish_grid(store, code: int, close_trace=None) -> int:
+    """Close the trace and the store, print the campaign summary, pass
+    the exit code on."""
+    from . import experiments
+
+    # The grid config is process-wide; a later in-process caller must
+    # not inherit this command's (now closed) trace bus or store.
+    experiments.configure_grid()
+    if close_trace is not None:
+        close_trace()
     if store is not None:
         store.close()
         summary = f"grid: {store.hits} cached, {store.puts} executed"
@@ -390,75 +466,42 @@ def _serve(parser: argparse.ArgumentParser, args) -> int:
     if args.heap_kb is None:
         parser.error("serve needs --heap-kb (unless --validate)")
     heap_bytes = int(args.heap_kb * KB)
-    if ladder is not None:
-        if args.trace:
-            parser.error(
-                "--trace does not combine with a --rate ladder; "
-                "trace one rate at a time"
+    bus, close_trace = _campaign_bus(args)
+    store = _open_store(parser, args, bus=bus)
+    from .runner import run_many
+
+    # One grid batch whether the ladder has one rung or many: with
+    # --trace, campaign progress and every run's (relayed) telemetry
+    # land in one merged JSONL timeline; cached cells replay their
+    # stored pause lists (see repro.obs.relay).
+    rungs = ladder if ladder is not None else [None]
+    results = run_many(
+        [
+            (spec.with_rate(rate) if rate is not None else spec,
+             args.collector, heap_bytes, args.scale, args.seed)
+            for rate in rungs
+        ],
+        max_workers=args.workers,
+        store=store,
+        bus=bus,
+    )
+    ok = True
+    for rate, stats in zip(rungs, results):
+        ok = ok and stats.completed
+        print(stats.summary_row())
+        requests = stats.requests
+        if requests is not None:
+            print(requests.summary_row())
+            # The golden-snapshot grep line: full-precision reprs, so CI
+            # can assert bit-identity of the percentiles with grep -F.
+            at_rate = f"@{rate:g}rps" if rate is not None else ""
+            print(
+                f"latency-cycles {stats.benchmark}/{stats.collector}"
+                f"{at_rate}: "
+                f"p50={requests.p50_cycles!r} p99={requests.p99_cycles!r} "
+                f"p99.9={requests.p999_cycles!r} max={requests.max_cycles!r}"
             )
-        store = _open_store(parser, args)
-        from .runner import run_many
-
-        results = run_many(
-            [
-                (spec.with_rate(rate), args.collector, heap_bytes,
-                 args.scale, args.seed)
-                for rate in ladder
-            ],
-            max_workers=args.workers,
-            store=store,
-        )
-        ok = True
-        for rate, stats in zip(ladder, results):
-            ok = ok and stats.completed
-            print(stats.summary_row())
-            requests = stats.requests
-            if requests is not None:
-                print(requests.summary_row())
-                print(
-                    f"latency-cycles {stats.benchmark}/{stats.collector}"
-                    f"@{rate:g}rps: "
-                    f"p50={requests.p50_cycles!r} p99={requests.p99_cycles!r} "
-                    f"p99.9={requests.p999_cycles!r} max={requests.max_cycles!r}"
-                )
-        return _finish_grid(store, 0 if ok else 1)
-    store = _open_store(parser, args)
-    if store is not None and not args.trace:  # tracing always executes
-        from .runner import run_many
-
-        stats = run_many(
-            [(spec, args.collector, heap_bytes, args.scale, args.seed)],
-            max_workers=args.workers,
-            store=store,
-        )[0]
-        trace_line = None
-    else:
-        report = run(
-            spec,
-            args.collector,
-            heap_bytes,
-            options=RunOptions(
-                scale=args.scale, seed=args.seed, trace=args.trace
-            ),
-        )
-        stats = report.stats
-        trace_line = (
-            f"trace: {report.trace_events_written} events -> {args.trace}"
-            if args.trace
-            else None
-        )
-    print(stats.summary_row())
-    requests = stats.requests
-    if requests is not None:
-        print(requests.summary_row())
-        # The golden-snapshot grep line: full-precision reprs, so CI can
-        # assert bit-identity of the latency percentiles with grep -F.
-        print(
-            f"latency-cycles {stats.benchmark}/{stats.collector}: "
-            f"p50={requests.p50_cycles!r} p99={requests.p99_cycles!r} "
-            f"p99.9={requests.p999_cycles!r} max={requests.max_cycles!r}"
-        )
-    return _finish_grid(store, 0 if stats.completed else 1)
+    return _finish_grid(store, 0 if ok else 1, close_trace)
 
 
 def _slo_bound(args):
@@ -513,7 +556,8 @@ def _slo(parser: argparse.ArgumentParser, args) -> int:
         )
     if not args.search and args.rates is None:
         parser.error("frontier mode needs --rates (or use --search)")
-    store = _open_store(parser, args)
+    bus, close_trace = _campaign_bus(args)
+    store = _open_store(parser, args, bus=bus)
     sections: List[str] = []
     artefact = {}
 
@@ -529,6 +573,7 @@ def _slo(parser: argparse.ArgumentParser, args) -> int:
             seed=args.seed,
             store=store,
             max_workers=args.workers,
+            bus=bus,
         )
         ordered = [results[(c, heap_bytes)] for c in collectors]
         sections.append(render_search_results(ordered, slo.describe()))
@@ -550,6 +595,7 @@ def _slo(parser: argparse.ArgumentParser, args) -> int:
                 seed=args.seed,
                 store=store,
                 max_workers=args.workers,
+                bus=bus,
                 distill=not args.no_distill,
                 mmu_window_fraction=args.mmu_window,
             )
@@ -592,8 +638,80 @@ def _slo(parser: argparse.ArgumentParser, args) -> int:
             print(f"slo JSON -> {args.json_path}")
     except OSError as error:
         print(f"error: cannot write slo artefact: {error}", file=sys.stderr)
-        return _finish_grid(store, 1)
-    return _finish_grid(store, 0)
+        return _finish_grid(store, 1, close_trace)
+    return _finish_grid(store, 0, close_trace)
+
+
+def _trace(args) -> int:
+    """The ``trace`` subcommand: telemetry JSONL -> Perfetto JSON."""
+    from pathlib import Path
+
+    from ..obs.sinks import JsonlLoadReport, iter_jsonl
+    from ..obs.trace import build_timeline, write_perfetto
+
+    report = JsonlLoadReport()
+    try:
+        events = list(iter_jsonl(args.artefact, validate=True, report=report))
+    except OSError as error:
+        print(f"error: cannot read trace artefact: {error}", file=sys.stderr)
+        return 2
+    if not events:
+        print(
+            f"error: no telemetry events in {args.artefact} "
+            f"({report.skipped} line(s) skipped)",
+            file=sys.stderr,
+        )
+        return 2
+    timeline = build_timeline(events)
+    output = args.output or Path(args.artefact).with_suffix("").name + ".perfetto.json"
+    try:
+        write_perfetto(timeline, output)
+    except OSError as error:
+        print(f"error: cannot write {output}: {error}", file=sys.stderr)
+        return 1
+    line = (
+        f"trace: {len(timeline.spans)} spans from {len(events)} events "
+        f"-> {output}"
+    )
+    if report.skipped:
+        line += f" ({report.skipped} unreadable line(s) skipped)"
+    truncated = timeline.attrs.get("truncated", [])
+    if truncated:
+        line += f" ({len(truncated)} partition(s) truncated mid-run)"
+    print(line)
+    return 0
+
+
+def _compare(parser: argparse.ArgumentParser, args) -> int:
+    """The ``compare`` subcommand: diff two artefacts, exit 1 on regression."""
+    from ..analysis.compare import ArtefactError, compare_artefacts
+
+    overrides = {}
+    for item in args.metric_thresholds or ():
+        name, sep, raw = item.partition("=")
+        if not sep or not name:
+            parser.error(f"--metric-threshold expects NAME=PCT, got {item!r}")
+        try:
+            pct = float(raw)
+        except ValueError:
+            parser.error(f"--metric-threshold {item!r}: {raw!r} is not a number")
+        if pct < 0:
+            parser.error(f"--metric-threshold {item!r}: threshold must be >= 0")
+        overrides[name] = pct / 100.0
+    if args.threshold < 0:
+        parser.error("--threshold must be >= 0")
+    try:
+        result = compare_artefacts(
+            args.baseline,
+            args.candidate,
+            threshold=args.threshold / 100.0,
+            metric_thresholds=overrides or None,
+        )
+    except ArtefactError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.render(verbose=args.verbose))
+    return 0 if result.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -732,24 +850,31 @@ def _dispatch(parser: argparse.ArgumentParser, args) -> int:
         return _serve(parser, args)
     if args.command == "slo":
         return _slo(parser, args)
-    store = _open_store(parser, args)
+    if args.command == "trace":
+        return _trace(args)
+    if args.command == "compare":
+        return _compare(parser, args)
+    bus, close_trace = _campaign_bus(args)
+    store = _open_store(parser, args, bus=bus)
     if args.command == "minheap":
         minimum = find_min_heap(
             args.benchmark, args.collector, scale=args.scale, seed=args.seed,
-            store=store,
+            store=store, bus=bus,
         )
         print(f"{args.benchmark}/{args.collector}: min heap = {minimum / KB:.1f}KB")
-        return _finish_grid(store, 0)
+        return _finish_grid(store, 0, close_trace)
     points = 33 if getattr(args, "full", False) else args.points
     if args.command == "experiment":
         return _finish_grid(
-            store, 0 if _run_experiment(args.name, points, args.scale) else 1
+            store,
+            0 if _run_experiment(args.name, points, args.scale) else 1,
+            close_trace,
         )
     if args.command == "all":
         ok = True
         for name in ALL_EXPERIMENTS:
             ok = _run_experiment(name, points, args.scale) and ok
-        return _finish_grid(store, 0 if ok else 1)
+        return _finish_grid(store, 0 if ok else 1, close_trace)
     if args.command == "report":
         from pathlib import Path
 

@@ -48,15 +48,20 @@ _sweep_cache: Dict[Tuple[str, str, int, float, int], SweepResult] = {}
 #: checkpointed as they finish), the parallel override, and the worker
 #: cap.  Set by :func:`configure_grid` (the CLI's ``--store``/``--workers``
 #: flags land here); the defaults are store-less auto-parallel.
-_grid: Dict[str, object] = {"store": None, "parallel": None, "max_workers": None}
+_grid: Dict[str, object] = {
+    "store": None, "parallel": None, "max_workers": None, "bus": None,
+}
 
 
-def configure_grid(store=None, parallel=None, max_workers=None) -> None:
+def configure_grid(store=None, parallel=None, max_workers=None, bus=None) -> None:
     """Route all experiment runs through ``store`` and these executor
-    settings (process-wide, like the caches; ``configure_grid()`` resets)."""
+    settings (process-wide, like the caches; ``configure_grid()`` resets).
+    With a telemetry ``bus``, every campaign batch emits ``grid.job``
+    progress and relays worker run telemetry onto it."""
     _grid["store"] = store
     _grid["parallel"] = parallel
     _grid["max_workers"] = max_workers
+    _grid["bus"] = bus
 
 
 def grid_store():
@@ -102,6 +107,7 @@ def _run_stats_many(jobs):
         parallel=_grid["parallel"],
         max_workers=_grid["max_workers"],
         store=_grid["store"],
+        bus=_grid["bus"],
     )
 
 
@@ -127,6 +133,7 @@ def min_heaps(benchmarks: Sequence[str], scale: float = 1.0) -> Dict[str, int]:
             store=_grid["store"],
             parallel=_grid["parallel"],
             max_workers=_grid["max_workers"],
+            bus=_grid["bus"],
         )
         for (benchmark, _collector), minimum in found.items():
             _min_heap_cache[(benchmark, scale)] = minimum
@@ -148,6 +155,7 @@ def cached_sweep(
             parallel=_grid["parallel"],
             max_workers=_grid["max_workers"],
             store=_grid["store"],
+            bus=_grid["bus"],
         )
     return _sweep_cache[key]
 
@@ -974,6 +982,7 @@ def slo(scale: float = 1.0) -> ExperimentResult:
             store=_grid["store"],
             parallel=_grid["parallel"],
             max_workers=_grid["max_workers"],
+            bus=_grid["bus"],
         )
         for collector in collectors
     ]

@@ -399,6 +399,7 @@ def run_many(
     parallel: Optional[bool] = True,
     max_workers: Optional[int] = None,
     store=None,
+    bus=None,
 ) -> List[RunStats]:
     """Run a batch of independent grid cells, in input order.
 
@@ -416,13 +417,18 @@ def run_many(
     with a :class:`~repro.grid.store.ResultStore` as ``store`` — cells
     already computed by *any* previous process are served from disk while
     fresh results are checkpointed as they finish.
+
+    With a telemetry ``bus``, campaign progress (``grid.job``) and every
+    worker's forwarded run telemetry land on it — one merged timeline
+    even on the multiprocess path (see :mod:`repro.obs.relay`).
     """
     # Imported lazily: worker processes re-importing this module must not
     # pay for (or recursively trigger) executor machinery.
     from ..grid.executor import execute_jobs
 
     return execute_jobs(
-        list(jobs), store=store, parallel=parallel, max_workers=max_workers
+        list(jobs), store=store, parallel=parallel, max_workers=max_workers,
+        bus=bus,
     ).results
 
 
@@ -434,6 +440,7 @@ def find_min_heap(
     start_bytes: Optional[int] = None,
     max_bytes: int = 4 * 1024 * 1024,
     store=None,
+    bus=None,
 ) -> int:
     """Smallest heap (bytes, frame granularity) where the run completes.
 
@@ -454,5 +461,6 @@ def find_min_heap(
         start_bytes=start_bytes,
         max_bytes=max_bytes,
         store=store,
+        bus=bus,
         parallel=False,  # a single search is sequential by nature
     )[(benchmark, collector)]

@@ -32,7 +32,15 @@ from .events import (
     validate_events,
 )
 from .instrument import Instrumentation, attach
-from .sinks import CounterSink, JsonlSink, RingBufferSink, load_jsonl
+from .relay import DropTally, ForwardedCell, ForwardingSink, replay_events
+from .sinks import (
+    CounterSink,
+    JsonlLoadReport,
+    JsonlSink,
+    RingBufferSink,
+    iter_jsonl,
+    load_jsonl,
+)
 from .profiler import (
     ProfileOptions,
     ProfileReport,
@@ -42,9 +50,13 @@ from .profiler import (
 
 __all__ = [
     "CounterSink",
+    "DropTally",
     "EVENT_SCHEMAS",
     "Event",
+    "ForwardedCell",
+    "ForwardingSink",
     "Instrumentation",
+    "JsonlLoadReport",
     "JsonlSink",
     "ProfileOptions",
     "ProfileReport",
@@ -54,8 +66,10 @@ __all__ = [
     "TelemetryBus",
     "attach",
     "attach_profiler",
+    "iter_jsonl",
     "load_jsonl",
     "pauses_from_events",
+    "replay_events",
     "validate_event",
     "validate_events",
 ]

@@ -115,7 +115,13 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
     # checkpointed), ``retry`` (worker exception or crash, re-dispatched)
     # or ``failed`` (retries exhausted; recorded, batch continues).
     # ``time`` is the dispatch sequence number — grid events are
-    # host-side orchestration, not simulated-clock phenomena.
+    # host-side orchestration, not simulated-clock phenomena.  ``job`` is
+    # the cell's ordinal in the batch's *input* order (the deterministic
+    # identity span ids are built from — cell keys fingerprint the
+    # substrate tier and would differ across tiers); ``worker`` is the
+    # pid that produced the result (0 for store hits); ``cached`` /
+    # ``executed`` / ``failed`` are campaign totals *including this
+    # event*, so live progress is computable from the bus alone.
     "grid.job": {
         "benchmark": (str,),
         "collector": (str,),
@@ -125,6 +131,33 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "key": (str,),
         "status": (str,),
         "attempt": _NUM,
+        "job": _NUM,
+        "worker": _NUM,
+        "cached": _NUM,
+        "executed": _NUM,
+        "failed": _NUM,
+    },
+    # Grid executor: a cell was served from the result store while a
+    # telemetry bus was attached.  The stored ``RunStats`` carries no
+    # event stream, so this one event ships everything the span layer
+    # needs to synthesize the cell's timeline — total cycles and the
+    # exact pause list (``[start, end, reason]`` triples) — making warm
+    # replays produce the same canonical spans as the cold run whose
+    # telemetry was forwarded live.  ``time`` is the dispatch sequence
+    # number, like ``grid.job``.
+    "run.replay": {
+        "benchmark": (str,),
+        "collector": (str,),
+        "heap_bytes": _NUM,
+        "scale": _NUM,
+        "seed": _NUM,
+        "key": (str,),
+        "job": _NUM,
+        "completed": (bool,),
+        "total_cycles": _NUM,
+        "gc_cycles": _NUM,
+        "collections": _NUM,
+        "pauses": (list,),
     },
     # Server workloads: a request starts service.  ``time`` is the
     # service-start instant on the simulated clock; ``arrival_cycles`` is

@@ -1,0 +1,126 @@
+"""Cross-process telemetry relay: forward worker events to the coordinator.
+
+Grid workers run each cell in a subprocess, so telemetry born inside a
+worker (``gc.start``/``gc.end``/``request.*``/...) never reaches the
+coordinator's bus on its own — only host-side ``grid.job`` orchestration
+events survive the process boundary.  The relay closes that gap without
+any live IPC machinery:
+
+* the worker attaches a :class:`ForwardingSink` — a *bounded* buffer of
+  ``(kind, time, data)`` triples — to the cell's private bus;
+* the buffered events ride home inside the worker's ordinary pickled
+  return value as a :class:`ForwardedCell`;
+* the coordinator replays them onto its own bus via :func:`replay_events`,
+  tagging every event with the worker pid, the cell's batch ordinal and
+  its store key so a merged campaign timeline stays attributable.
+
+The drop contract: the buffer is bounded (default 16384 events) with
+drop-*newest* overflow — once full, later events are counted, not kept,
+so the retained prefix is always a contiguous, causally consistent head
+of the worker's stream (a run whose tail is missing still nests
+correctly; an evicted-oldest policy would orphan ``gc.end`` events from
+their ``run.start``).  Drops are *never silent*: the count travels back
+on the :class:`ForwardedCell`, is summed into the campaign report, and
+is surfaced by the CLI summary line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .events import Event
+
+#: Default per-cell forwarding buffer, in events.  Sized so a typical
+#: benchmark cell (hundreds of collections, a few thousand requests)
+#: forwards losslessly while a runaway cell cannot pickle an unbounded
+#: payload back across the process boundary.
+DEFAULT_FORWARD_CAPACITY = 16384
+
+
+class ForwardingSink:
+    """Bounded event buffer a worker attaches to its private bus.
+
+    Keeps the *first* ``capacity`` events (drop-newest overflow) as plain
+    ``(kind, time, data)`` triples so the buffer pickles cheaply across
+    the process boundary.  ``dropped`` counts evictions; ``accepted``
+    counts every event offered, so ``accepted == len(events) + dropped``.
+    """
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_FORWARD_CAPACITY):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"forwarding capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.events: List[Tuple[str, float, Dict[str, Any]]] = []
+        self.accepted = 0
+        self.dropped = 0
+
+    def accept(self, event: Event) -> None:
+        self.accepted += 1
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append((event.kind, event.time, dict(event.data)))
+
+
+@dataclass
+class ForwardedCell:
+    """A worker's result plus the telemetry it buffered while producing it.
+
+    ``result`` is whatever the cell runner returned (normally a
+    ``RunStats``); ``events`` is the forwarding buffer's retained prefix;
+    ``dropped`` is the overflow count; ``worker`` is the producing pid.
+    """
+
+    result: Any
+    events: List[Tuple[str, float, Dict[str, Any]]] = field(default_factory=list)
+    dropped: int = 0
+    worker: int = 0
+
+
+class DropTally:
+    """Coordinator-side sink that totals the relay's loss accounting.
+
+    The executor annotates each cell's terminal ``grid.job`` event with
+    ``forwarded_events`` / ``forwarded_dropped`` (extra keys, allowed by
+    schema); subscribing a tally next to the trace sink lets the CLI
+    report campaign-wide drops without threading the grid report around.
+    """
+
+    def __init__(self) -> None:
+        self.forwarded = 0
+        self.dropped = 0
+
+    def accept(self, event: Event) -> None:
+        if event.kind != "grid.job":
+            return
+        self.forwarded += int(event.data.get("forwarded_events", 0))
+        self.dropped += int(event.data.get("forwarded_dropped", 0))
+
+
+def replay_events(
+    bus,
+    events: List[Tuple[str, float, Dict[str, Any]]],
+    *,
+    worker: int,
+    job: int,
+    key: str,
+) -> int:
+    """Re-emit forwarded worker events onto the coordinator bus.
+
+    Every event is tagged with ``worker`` (producing pid), ``job`` (the
+    cell's ordinal in the batch's input order — the deterministic identity
+    the span layer partitions on) and ``key`` (the content-addressed store
+    key, an attribute only).  Tags are extra data keys, which the schema
+    layer allows by design, so replayed events stay schema-valid.
+    Returns the number of events replayed.
+    """
+    count = 0
+    for kind, time, data in events:
+        tagged = dict(data)
+        tagged["worker"] = worker
+        tagged["job"] = job
+        tagged["key"] = key
+        bus.emit(kind, time, tagged)
+        count += 1
+    return count

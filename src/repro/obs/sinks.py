@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import json
 from collections import deque
+from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Dict, List, Optional, Union
+from typing import IO, Dict, Iterator, List, Optional, Union
 
-from .events import Event
+from .events import Event, SchemaError, validate_event
 
 
 class JsonlSink:
@@ -55,12 +56,88 @@ class JsonlSink:
                 pass
 
 
-def load_jsonl(source: Union[str, Path, IO[str]]) -> List[dict]:
-    """Parse a JSONL trace back into flat event dicts."""
+@dataclass
+class JsonlLoadReport:
+    """What one JSONL load saw: lines read, events yielded, lines skipped.
+
+    ``corrupt`` counts lines that were not valid JSON objects; ``invalid``
+    counts parsed events that failed schema validation (unknown kind,
+    missing/mistyped required field).  Both are only ever non-zero in
+    ``validate=True`` mode — without validation, corrupt lines raise.
+    """
+
+    lines: int = 0
+    events: int = 0
+    corrupt: int = 0
+    invalid: int = 0
+
+    @property
+    def skipped(self) -> int:
+        return self.corrupt + self.invalid
+
+
+def iter_jsonl(
+    source: Union[str, Path, IO[str]],
+    *,
+    validate: bool = False,
+    report: Optional[JsonlLoadReport] = None,
+) -> Iterator[dict]:
+    """Stream a JSONL trace as flat event dicts, one line at a time.
+
+    The streaming complement of :func:`load_jsonl` — a multi-gigabyte
+    campaign trace is consumed without materialising the event list.
+    With ``validate=True`` every line is checked against the event
+    schemas and bad input is *skipped, not raised*: corrupt JSON and
+    schema-invalid events are counted into ``report`` (pass a
+    :class:`JsonlLoadReport` to observe the counts) so one truncated
+    line cannot take down a whole trace build.  Without ``validate``,
+    corrupt JSON raises as before and no schema checking happens.
+    """
+    report = report if report is not None else JsonlLoadReport()
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as stream:
-            return [json.loads(line) for line in stream if line.strip()]
-    return [json.loads(line) for line in source if line.strip()]
+            yield from _iter_stream(stream, validate, report)
+    else:
+        yield from _iter_stream(source, validate, report)
+
+
+def _iter_stream(stream, validate: bool, report: JsonlLoadReport):
+    for line in stream:
+        if not line.strip():
+            continue
+        report.lines += 1
+        if validate:
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                report.corrupt += 1
+                continue
+            if not isinstance(obj, dict):
+                report.corrupt += 1
+                continue
+            try:
+                validate_event(obj)
+            except SchemaError:
+                report.invalid += 1
+                continue
+        else:
+            obj = json.loads(line)
+        report.events += 1
+        yield obj
+
+
+def load_jsonl(
+    source: Union[str, Path, IO[str]],
+    *,
+    validate: bool = False,
+    report: Optional[JsonlLoadReport] = None,
+) -> List[dict]:
+    """Parse a JSONL trace back into flat event dicts.
+
+    ``validate``/``report`` behave exactly as in :func:`iter_jsonl`
+    (validation skips and counts bad lines instead of raising).
+    """
+    return list(iter_jsonl(source, validate=validate, report=report))
 
 
 class RingBufferSink:
@@ -159,6 +236,29 @@ class CounterSink:
         return dict(self._values)
 
     def render(self) -> str:
-        """Prometheus text exposition (one ``name value`` line each)."""
+        """Prometheus text exposition (one ``name value`` line each).
+
+        Ordering is pinned: lines are sorted by metric name, so two
+        snapshots with the same values render byte-identically no matter
+        what order the events arrived in.  ``parse`` inverts it exactly.
+        """
         lines = [f"{name} {value}" for name, value in sorted(self._values.items())]
         return "\n".join(lines)
+
+    @staticmethod
+    def parse(text: str) -> Dict[str, float]:
+        """Invert :meth:`render`: text exposition back to name→value.
+
+        ``parse(sink.render()) == sink.snapshot()`` holds for every sink
+        (the round-trip contract the golden-diff tooling relies on).
+        """
+        values: Dict[str, float] = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            name, _, raw = line.rpartition(" ")
+            if not name:
+                raise ValueError(f"counter line has no value: {line!r}")
+            values[name] = float(raw)
+        return values

@@ -1,0 +1,213 @@
+"""Chrome trace-event / Perfetto JSON export of a span timeline.
+
+:func:`to_perfetto` renders a :class:`~repro.obs.trace.spans.Timeline`
+as the JSON object format every Chrome-derived trace viewer (including
+``ui.perfetto.dev``) accepts: a ``traceEvents`` list of complete ``"X"``
+events plus ``"M"`` metadata naming each process and thread.
+
+The pid/tid mapping (documented here because the viewer shows it):
+
+* **pid 1** is the campaign track (present only for grid traces): one
+  tid per cell, named ``job <i>``, carrying the ``grid:<i>`` dispatch
+  spans.  Its timestamps are dispatch sequence numbers, not cycles.
+* **pids 2+** are run partitions, one per grid cell (input order) or per
+  ``run.start`` in a single-process trace.  Within a run pid, **tid 1**
+  (``vm``) holds the run → gc → phase stack and **tid 2**
+  (``requests``) holds request spans.
+
+Timestamps are simulated cycles exported 1:1 as microseconds (``ts`` /
+``dur`` are µs in the trace-event format; ``displayTimeUnit`` stays
+``"ms"`` so a 10M-cycle run reads as 10s in the viewer).  Span attrs
+ride in ``args`` with the deterministic span id as ``args.id``.
+
+:func:`validate_perfetto` structurally checks an exported document the
+way the CI trace job does: every event well-formed, timestamps
+non-negative and monotone per track, and the X spans on each track
+properly stack-nested (a child never outlives its parent).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any, Dict, List, Tuple, Union
+
+from ..events import Event
+from .spans import Span, Timeline, build_timeline
+
+
+def _track_map(timeline: Timeline) -> Dict[Tuple[str, str], Tuple[int, int]]:
+    """Deterministic (partition, thread) → (pid, tid) assignment."""
+    partitions: List[str] = []
+    for part, _thread in timeline.tracks():
+        if part not in partitions:
+            partitions.append(part)
+    mapping: Dict[Tuple[str, str], Tuple[int, int]] = {}
+    run_pid = 2
+    pid_of: Dict[str, int] = {}
+    for part in partitions:
+        if part == "campaign":
+            pid_of[part] = 1
+        else:
+            pid_of[part] = run_pid
+            run_pid += 1
+    campaign_tids: Dict[str, int] = {}
+    for part, thread in timeline.tracks():
+        if part == "campaign":
+            tid = campaign_tids.setdefault(thread, len(campaign_tids) + 1)
+        else:
+            tid = 1 if thread == "vm" else 2
+        mapping[(part, thread)] = (pid_of[part], tid)
+    return mapping
+
+
+def to_perfetto(timeline: Timeline) -> Dict[str, Any]:
+    """Render a timeline as a Chrome trace-event JSON object."""
+    mapping = _track_map(timeline)
+    events: List[Dict[str, Any]] = []
+    named_pids: Dict[int, str] = {}
+    named_tids: Dict[Tuple[int, int], str] = {}
+    for (part, thread), (pid, tid) in mapping.items():
+        if pid not in named_pids:
+            named_pids[pid] = "campaign" if part == "campaign" else part
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": named_pids[pid]},
+                }
+            )
+        if (pid, tid) not in named_tids:
+            named_tids[(pid, tid)] = thread
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread},
+                }
+            )
+    for span in timeline.spans:
+        pid, tid = mapping[span.track]
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.start,
+                "dur": span.duration,
+                "pid": pid,
+                "tid": tid,
+                "args": {"id": span.sid, **span.attrs},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "beltway-bench trace",
+            "clock": "simulated cycles as microseconds",
+            **{k: v for k, v in timeline.attrs.items() if k != "truncated"},
+            "truncated_partitions": list(timeline.attrs.get("truncated", [])),
+        },
+    }
+
+
+def write_perfetto(
+    timeline: Timeline, target: Union[str, Path, IO[str]]
+) -> Dict[str, Any]:
+    """Serialise :func:`to_perfetto` output to a path or stream."""
+    doc = to_perfetto(timeline)
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as stream:
+            json.dump(doc, stream, indent=1, sort_keys=True)
+            stream.write("\n")
+    else:
+        json.dump(doc, target, indent=1, sort_keys=True)
+    return doc
+
+
+def validate_perfetto(doc: Dict[str, Any]) -> int:
+    """Structurally validate an exported trace document.
+
+    Raises :class:`ValueError` on the first violation; returns the number
+    of ``X`` events checked.  Checks: ``traceEvents`` present; every
+    event carries ``ph``/``pid``/``tid``; metadata events are named;
+    complete events have non-negative ``ts``/``dur``; per (pid, tid)
+    track, emission order is ts-monotone and the spans nest as a stack
+    (each span either follows or encloses its predecessor — never
+    straddles it).
+    """
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents missing or not a list")
+    tracks: Dict[Tuple[int, int], List[Tuple[float, float]]] = {}
+    checked = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            raise ValueError(f"traceEvents[{i}]: unsupported ph {ph!r}")
+        for key in ("pid", "tid", "name"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{i}]: missing {key!r}")
+        if ph == "M":
+            if event.get("args", {}).get("name") in (None, ""):
+                raise ValueError(f"traceEvents[{i}]: unnamed metadata event")
+            continue
+        ts = event.get("ts")
+        dur = event.get("dur")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            raise ValueError(f"traceEvents[{i}]: bad ts {ts!r}")
+        if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+            raise ValueError(f"traceEvents[{i}]: bad dur {dur!r}")
+        tracks.setdefault((event["pid"], event["tid"]), []).append((ts, ts + dur))
+        checked += 1
+    for track, spans in tracks.items():
+        last_ts = -1.0
+        stack: List[float] = []
+        for ts, end in spans:
+            if ts < last_ts:
+                raise ValueError(
+                    f"track {track}: ts not monotone ({ts} after {last_ts})"
+                )
+            last_ts = ts
+            while stack and ts >= stack[-1]:
+                stack.pop()
+            if stack and end > stack[-1]:
+                raise ValueError(
+                    f"track {track}: span [{ts}, {end}] straddles its "
+                    f"enclosing span ending at {stack[-1]}"
+                )
+            stack.append(end)
+    return checked
+
+
+class TraceExportSink:
+    """A bus sink that renders the whole run as Perfetto JSON on close.
+
+    Buffers every event (spans need the full stream: a run span's extent
+    comes from ``run.end``), builds the timeline and writes the document
+    when closed.  ``spans_written`` reports the span count afterwards.
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]):
+        self._target = target
+        self._events: List[Event] = []
+        self.spans_written = 0
+        self.closed = False
+
+    def accept(self, event: Event) -> None:
+        self._events.append(event)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        timeline = build_timeline(self._events)
+        self.spans_written = len(timeline.spans)
+        write_perfetto(timeline, self._target)

@@ -184,6 +184,7 @@ def sweep_frontier(
     distill: bool = True,
     mmu_window_fraction: float = 0.01,
     cell_runner=None,
+    force_pool: bool = False,
 ) -> Frontier:
     """The throughput–latency frontier of one (collector, heap) point.
 
@@ -225,6 +226,7 @@ def sweep_frontier(
         max_workers=max_workers,
         bus=bus,
         cell_runner=cell_runner,
+        force_pool=force_pool,
     )
     measured = report.results[: len(ladder)]
     references = report.results[len(ladder):] if distill else [None] * len(ladder)

@@ -1,0 +1,234 @@
+"""``beltway-bench compare``: artefact diffing and the exit contract.
+
+Exit contract under test: 0 same-or-better, 1 regression past threshold,
+2 usage (unreadable/unrecognisable artefact, malformed flags).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.compare import (
+    ArtefactError,
+    compare_artefacts,
+    compare_metrics,
+    extract_metrics,
+    metric_direction,
+)
+from repro.harness.cli import main
+
+
+def _trace_lines(total=100000.0, pauses=((1000.0, 1500.0), (2000.0, 2800.0)),
+                 counters=None):
+    base = {"benchmark": "b", "collector": "c", "heap_bytes": 1,
+            "scale": 1.0, "seed": 1}
+    events = [{"kind": "run.start", "time": 0.0, **base}]
+    for i, (start, end) in enumerate(pauses, start=1):
+        events.append({
+            "kind": "gc.end", "time": end, "id": i, "reason": "belt0",
+            "belts": [0], "increments": 1, "from_frames": 2,
+            "copied_objects": 3, "copied_words": 12, "copied_bytes": 48,
+            "freed_frames": 2, "remset_slots": 0, "full_heap": False,
+            "pause_start": start, "pause_end": end,
+            "pause_cycles": end - start, "heap_frames_in_use": 5,
+            "reserve_frames": 1, "wall_s": 0.001,
+        })
+    events.append({
+        "kind": "run.end", "time": total, "completed": True, "failure": "",
+        "phases": {}, "counters": dict(counters or {}, run_total_cycles=total),
+    })
+    return "\n".join(json.dumps(e, sort_keys=True) for e in events) + "\n"
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# Direction classification
+# ----------------------------------------------------------------------
+def test_metric_direction_marks():
+    assert metric_direction("gc_pause_p99_cycles") == +1
+    assert metric_direction("job0.latency_p50") == +1
+    assert metric_direction("mmu_1pct") == -1
+    assert metric_direction("frontier.c@1.r600.rate_rps") == -1
+    assert metric_direction("heap_bytes") == 0
+    # Names carrying both marks count bad events: higher-is-worse wins.
+    assert metric_direction("paused_requests") == +1
+
+
+# ----------------------------------------------------------------------
+# Metric extraction
+# ----------------------------------------------------------------------
+def test_extract_trace_metrics(tmp_path):
+    path = _write(tmp_path, "a.jsonl", _trace_lines())
+    metrics = extract_metrics(path)
+    assert metrics["run_total_cycles"] == 100000.0
+    assert metrics["gc_pause_p50_cycles"] == 500.0
+    assert metrics["gc_max_pause_cycles"] == 800.0
+    assert 0.0 < metrics["mmu_1pct"] <= 1.0
+    assert not any("wall" in name for name in metrics)
+
+
+def test_extract_slo_metrics(tmp_path):
+    doc = {"frontiers": [{
+        "collector": "25.25.100", "heap_bytes": 65536,
+        "points": [{"rate_rps": 600.0, "p99_cycles": 1234.0,
+                    "completed": True,
+                    "distilled": {"gc_inflation_p99": 1.5}}],
+    }], "search": {"results": [
+        {"collector": "25.25.100", "heap_bytes": 65536,
+         "rate_rps": 1800.0, "probes": 5},
+    ]}}
+    path = _write(tmp_path, "slo.json", json.dumps(doc, indent=1))
+    metrics = extract_metrics(path)
+    who = "25.25.100@65536"
+    assert metrics[f"frontier.{who}.r600.p99_cycles"] == 1234.0
+    assert metrics[f"frontier.{who}.r600.distilled.gc_inflation_p99"] == 1.5
+    assert metrics[f"search.{who}.rate_rps"] == 1800.0
+
+
+def test_extract_accepts_compact_single_line_slo_doc(tmp_path):
+    """A document dumped without indentation is one line of valid JSON —
+    it must still be recognised as a document, not sniffed as JSONL."""
+    doc = {"frontiers": [{"collector": "c", "heap_bytes": 1,
+                          "points": [{"rate_rps": 600.0,
+                                      "p99_cycles": 9.0}]}]}
+    path = _write(tmp_path, "compact.json", json.dumps(doc))
+    assert extract_metrics(path)["frontier.c@1.r600.p99_cycles"] == 9.0
+
+
+def test_extract_rejects_garbage(tmp_path):
+    with pytest.raises(ArtefactError):
+        extract_metrics(tmp_path / "missing.jsonl")
+    with pytest.raises(ArtefactError):
+        extract_metrics(_write(tmp_path, "empty.jsonl", ""))
+    with pytest.raises(ArtefactError):
+        extract_metrics(_write(tmp_path, "odd.json", json.dumps({"x": 1},
+                                                               indent=1)))
+
+
+def test_multi_partition_traces_get_prefixed_names(tmp_path):
+    path = _write(tmp_path, "two.jsonl",
+                  _trace_lines() + _trace_lines(total=50000.0))
+    metrics = extract_metrics(path)
+    assert "run1.run_total_cycles" in metrics
+    assert "run2.run_total_cycles" in metrics
+
+
+# ----------------------------------------------------------------------
+# Comparison semantics
+# ----------------------------------------------------------------------
+def test_identical_metrics_are_ok():
+    metrics = {"gc_pause_p99_cycles": 100.0, "mmu_1pct": 0.9}
+    result = compare_metrics(metrics, dict(metrics))
+    assert result.ok and not result.improvements
+    assert result.checked == 2
+    assert "verdict=OK" in result.verdict_line()
+
+
+def test_regression_past_threshold_flips_verdict():
+    a = {"gc_pause_p99_cycles": 100.0}
+    b = {"gc_pause_p99_cycles": 110.0}
+    result = compare_metrics(a, b, threshold=0.05)
+    assert not result.ok
+    assert result.regressions[0].regression == pytest.approx(0.10)
+    # The same move under a looser threshold is within noise.
+    assert compare_metrics(a, b, threshold=0.15).ok
+
+
+def test_lower_is_worse_direction():
+    a = {"mmu_1pct": 0.90}
+    b = {"mmu_1pct": 0.50}
+    assert not compare_metrics(a, b).ok
+    assert compare_metrics(b, a).improvements  # the other way improves
+
+
+def test_per_metric_threshold_overrides():
+    a = {"gc_pause_p99_cycles": 100.0, "job0.latency_p50": 100.0}
+    b = {"gc_pause_p99_cycles": 108.0, "job0.latency_p50": 108.0}
+    result = compare_metrics(
+        a, b, threshold=0.05,
+        metric_thresholds={"gc_pause_p99_cycles": 0.20, "latency_p50": 0.20},
+    )
+    assert result.ok  # both overridden (full name and leaf name)
+
+
+def test_zero_baseline_uses_absolute_floor():
+    # A zero baseline compares against a 1.0 floor instead of dividing
+    # by zero: 0 -> 0.03 is a 3% move (ok at 5%), 0 -> 2.0 is 200%.
+    assert compare_metrics({"dropped": 0.0}, {"dropped": 0.03}).ok
+    assert not compare_metrics({"dropped": 0.0}, {"dropped": 2.0}).ok
+
+
+def test_direction_free_metrics_never_drive_verdict():
+    result = compare_metrics({"heap_bytes": 1.0}, {"heap_bytes": 2.0})
+    assert result.ok and result.checked == 0
+    assert result.deltas[0].verdict == "info"
+
+
+def test_disjoint_metrics_are_reported_not_compared():
+    result = compare_metrics({"a_only": 1.0}, {"b_only": 2.0})
+    assert result.only_baseline == ["a_only"]
+    assert result.only_candidate == ["b_only"]
+    assert result.ok
+
+
+# ----------------------------------------------------------------------
+# CLI exit contract
+# ----------------------------------------------------------------------
+def test_cli_identical_artefacts_exit_0(tmp_path, capsys):
+    path = _write(tmp_path, "a.jsonl", _trace_lines())
+    assert main(["compare", path, path]) == 0
+    out = capsys.readouterr().out
+    assert "compare: verdict=OK" in out
+    assert "threshold=5%" in out
+
+
+def test_cli_seeded_regression_exits_1(tmp_path, capsys):
+    a = _write(tmp_path, "a.jsonl", _trace_lines())
+    b = _write(tmp_path, "b.jsonl",
+               _trace_lines(pauses=((1000.0, 1700.0), (2000.0, 3100.0))))
+    assert main(["compare", a, b]) == 1
+    out = capsys.readouterr().out
+    assert "verdict=REGRESSION" in out
+    assert "gc_pause_p50_cycles" in out
+
+
+def test_cli_unreadable_artefact_exits_2(tmp_path, capsys):
+    a = _write(tmp_path, "a.jsonl", _trace_lines())
+    assert main(["compare", a, str(tmp_path / "nope.jsonl")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_malformed_flags_exit_2(tmp_path):
+    a = _write(tmp_path, "a.jsonl", _trace_lines())
+    for bad in (["--metric-threshold", "nope"],
+                ["--metric-threshold", "x=abc"],
+                ["--metric-threshold", "x=-5"],
+                ["--threshold", "-1"]):
+        with pytest.raises(SystemExit) as exc:
+            main(["compare", a, a] + bad)
+        assert exc.value.code == 2
+
+
+def test_cli_metric_threshold_override(tmp_path):
+    a = _write(tmp_path, "a.jsonl", _trace_lines())
+    b = _write(tmp_path, "b.jsonl",
+               _trace_lines(pauses=((1000.0, 1540.0), (2000.0, 2860.0))))
+    assert main(["compare", a, b]) == 1
+    assert main(["compare", a, b, "--threshold", "20"]) == 0
+    assert main(["compare", a, b,
+                 "--metric-threshold", "gc_pause_p50_cycles=50",
+                 "--metric-threshold", "gc_pause_p99_cycles=50",
+                 "--metric-threshold", "gc_max_pause_cycles=50",
+                 "--metric-threshold", "gc_cycles=50",
+                 "--metric-threshold", "mmu_1pct=50"]) == 0
+
+
+def test_compare_artefacts_names_paths(tmp_path):
+    path = _write(tmp_path, "a.jsonl", _trace_lines())
+    result = compare_artefacts(path, path)
+    assert result.baseline == path and result.candidate == path

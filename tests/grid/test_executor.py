@@ -196,7 +196,7 @@ def test_cold_parallel_campaign_beats_serial():
 
 def test_grid_job_events_are_emitted_and_schema_valid(tmp_path):
     bus = TelemetryBus()
-    sink = bus.subscribe(RingBufferSink(capacity=64))
+    sink = bus.subscribe(RingBufferSink(capacity=65536))
     store = ResultStore(tmp_path / "s")
     execute_jobs(JOBS, store=store, parallel=False, bus=bus)
     execute_jobs(JOBS, store=store, parallel=False, bus=bus)
@@ -207,3 +207,15 @@ def test_grid_job_events_are_emitted_and_schema_valid(tmp_path):
     assert statuses.count("cached") == len(JOBS)
     keys = {e.data["key"] for e in events}
     assert keys == {cell_key(*job) for job in JOBS}
+    # Every grid.job carries its cell's batch ordinal plus the campaign's
+    # running totals; the final event accounts for the whole batch.
+    for event in events:
+        assert event.data["job"] in range(len(JOBS))
+    done = [e for e in events if e.data["status"] == "done"]
+    assert all(e.data["worker"] > 0 for e in done)
+    last = events[-1].data
+    assert last["cached"] + last["executed"] + last["failed"] == len(JOBS)
+    # The warm pass replays cached cells as run.replay synthesis events.
+    replays = [e for e in sink.events if e.kind == "run.replay"]
+    assert len(replays) == len(JOBS)
+    assert {e.data["key"] for e in replays} == keys

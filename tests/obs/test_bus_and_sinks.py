@@ -188,3 +188,78 @@ def test_counter_sink_folds_stream():
     assert snap["heap_frames_in_use"] == 6.0
     rendered = sink.render()
     assert "gc_collections_total 2.0" in rendered
+
+
+def test_counter_sink_render_is_sorted_and_round_trips():
+    """``render`` pins name-sorted ordering, and ``parse`` inverts it
+    exactly — the compare tooling depends on both."""
+    sink = CounterSink()
+    sink.accept(_gc_end(pause_cycles=10.0))
+    sink.accept(Event("alloc.region", 120.0, {
+        "frame": 9, "space": "belt0", "heap_frames_in_use": 6,
+    }))
+    rendered = sink.render()
+    names = [line.rsplit(" ", 1)[0] for line in rendered.splitlines()]
+    assert names == sorted(names)
+    assert CounterSink.parse(rendered) == sink.snapshot()
+
+
+def test_counter_sink_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        CounterSink.parse("no_value_here")
+
+
+# ----------------------------------------------------------------------
+# Streaming loader
+# ----------------------------------------------------------------------
+def _jsonl_with_noise():
+    good = _gc_end()
+    unknown = Event("gc.teleport", 1.0, {"x": 1})
+    return "\n".join([
+        good.to_json(),
+        "{not json at all",
+        unknown.to_json(),
+        "",  # blank lines are not an error
+        _gc_end(time=200.0, id=2).to_json(),
+    ]) + "\n"
+
+
+def test_iter_jsonl_is_lazy_and_matches_load(tmp_path):
+    from repro.obs import iter_jsonl
+
+    path = tmp_path / "events.jsonl"
+    sink = JsonlSink(path)
+    sink.accept(_gc_end())
+    sink.accept(_gc_end(time=200.0, id=2))
+    sink.close()
+    iterator = iter_jsonl(path)
+    assert iter(iterator) is iterator  # a generator, not a list
+    assert list(iterator) == load_jsonl(path)
+
+
+def test_iter_jsonl_validate_skips_and_counts(tmp_path):
+    from repro.obs import JsonlLoadReport, iter_jsonl
+
+    path = tmp_path / "noisy.jsonl"
+    path.write_text(_jsonl_with_noise())
+    report = JsonlLoadReport()
+    events = list(iter_jsonl(path, validate=True, report=report))
+    assert [e["id"] for e in events] == [1, 2]
+    assert report.corrupt == 1 and report.invalid == 1
+    assert report.skipped == 2
+    assert report.events == 2
+    assert report.lines == 4  # blank lines are not counted
+
+
+def test_iter_jsonl_without_validate_raises_on_corruption(tmp_path):
+    path = tmp_path / "noisy.jsonl"
+    path.write_text(_jsonl_with_noise())
+    with pytest.raises(ValueError):
+        list(load_jsonl(path))
+
+
+def test_load_jsonl_validate_kwarg(tmp_path):
+    path = tmp_path / "noisy.jsonl"
+    path.write_text(_jsonl_with_noise())
+    events = load_jsonl(path, validate=True)
+    assert [e["id"] for e in events] == [1, 2]

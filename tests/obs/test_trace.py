@@ -1,0 +1,237 @@
+"""The span model and the Perfetto exporter (``repro.obs.trace``).
+
+Spans are derived purely from the event stream — the builder never
+touches the VM — so every test here works off either a live run's
+telemetry or a hand-built synthetic stream.
+"""
+
+import json
+
+import pytest
+
+from repro.grid import ResultStore, execute_jobs
+from repro.harness.runner import RunOptions, run
+from repro.obs import RingBufferSink, TelemetryBus
+from repro.obs.trace import (
+    PHASE_COMPONENTS,
+    TraceExportSink,
+    build_timeline,
+    to_perfetto,
+    validate_perfetto,
+    write_perfetto,
+)
+
+SCALE = 0.2
+JOBS = [
+    ("jess", "25.25.100", 24 * 1024, SCALE, 13),
+    ("jess", "gctk:Appel", 24 * 1024, SCALE, 13),
+]
+
+
+@pytest.fixture(scope="module")
+def campaign_events():
+    """One cold two-cell campaign's merged telemetry."""
+    bus = TelemetryBus()
+    ring = bus.subscribe(RingBufferSink(capacity=65536))
+    execute_jobs(JOBS, parallel=False, bus=bus)
+    return ring.events
+
+
+@pytest.fixture(scope="module")
+def timeline(campaign_events):
+    return build_timeline(campaign_events)
+
+
+# ----------------------------------------------------------------------
+# Span hierarchy and deterministic ids
+# ----------------------------------------------------------------------
+def test_timeline_has_one_run_span_per_job(timeline):
+    runs = timeline.of_cat("run")
+    assert [s.sid for s in runs] == ["job:0/run", "job:1/run"]
+    assert runs[0].name == "jess 25.25.100@24576"
+    assert runs[0].start == 0.0 and runs[0].end > 0
+    assert runs[0].attrs["completed"] is True
+
+
+def test_gc_spans_nest_inside_their_run(timeline):
+    gcs = timeline.of_cat("gc")
+    assert gcs, "the 24KB heap must collect at least once"
+    for span in gcs:
+        assert span.parent in ("job:0/run", "job:1/run")
+        prefix = span.parent.rsplit("/", 1)[0]
+        assert span.sid.startswith(f"{prefix}/gc:")
+        run = next(s for s in timeline.of_cat("run") if s.sid == span.parent)
+        assert run.start <= span.start <= span.end <= run.end
+        assert span.name.startswith("gc ")
+        assert span.attrs["worker"] > 0
+
+
+def test_gc_ids_are_one_based_per_run(timeline):
+    ordinals = [
+        int(s.sid.rsplit(":", 1)[1])
+        for s in timeline.of_cat("gc")
+        if s.parent == "job:0/run"
+    ]
+    assert ordinals == list(range(1, len(ordinals) + 1))
+
+
+def test_phase_spans_tile_their_pause_exactly(timeline):
+    gcs = {s.sid: s for s in timeline.of_cat("gc")}
+    phases = timeline.of_cat("phase")
+    assert phases, "enriched gc.end events must decompose into phases"
+    by_gc = {}
+    for span in phases:
+        by_gc.setdefault(span.parent, []).append(span)
+        assert span.name in PHASE_COMPONENTS
+    for gc_sid, children in by_gc.items():
+        pause = gcs[gc_sid]
+        assert children[0].start == pause.start
+        assert children[-1].end == pause.end
+        for left, right in zip(children, children[1:]):
+            assert left.end == right.start  # contiguous, no gaps
+        assert sum(c.duration for c in children) == pause.duration
+
+
+def test_campaign_spans_cover_grid_cells(timeline):
+    grids = timeline.of_cat("grid")
+    assert [s.sid for s in grids] == ["grid:0", "grid:1"]
+    assert grids[0].attrs["status"] == "done"
+    assert grids[0].track == ("campaign", "job:0")
+
+
+def test_unknown_kinds_are_counted_not_raised():
+    stream = [
+        {"kind": "grid.mystery", "time": 0.0, "x": 1},
+        {"kind": "run.start", "time": 0.0, "benchmark": "b",
+         "collector": "c", "heap_bytes": 1, "scale": 1.0, "seed": 1},
+    ]
+    timeline = build_timeline(stream)
+    assert timeline.attrs["ignored"] == 1
+    assert len(timeline.of_cat("run")) == 1
+
+
+def test_recurring_job_ordinal_gets_segment_suffixes():
+    """Adaptive searches re-dispatch single-cell batches, so ordinal 0
+    recurs; each run must land in its own partition."""
+    def mini_run(n):
+        return [
+            {"kind": "run.start", "time": 0.0, "job": 0, "benchmark": "b",
+             "collector": "c", "heap_bytes": n, "scale": 1.0, "seed": 1},
+            {"kind": "run.end", "time": 100.0, "job": 0, "completed": True,
+             "counters": {"run_total_cycles": 100.0}},
+        ]
+    timeline = build_timeline(mini_run(1) + mini_run(2) + mini_run(3))
+    assert [s.sid for s in timeline.of_cat("run")] == [
+        "job:0/run", "job:0#2/run", "job:0#3/run",
+    ]
+
+
+def test_request_spans_pair_start_and_end():
+    stream = [
+        {"kind": "run.start", "time": 0.0, "benchmark": "b",
+         "collector": "c", "heap_bytes": 1, "scale": 1.0, "seed": 1},
+        {"kind": "request.start", "time": 10.0, "id": 7, "task": "get",
+         "queue_depth": 0},
+        {"kind": "request.end", "time": 25.0, "id": 7, "task": "get",
+         "latency_cycles": 15.0, "gc_pauses": 0, "queue_depth": 0},
+        {"kind": "run.end", "time": 100.0, "completed": True,
+         "counters": {"run_total_cycles": 100.0}},
+    ]
+    timeline = build_timeline(stream)
+    requests = timeline.of_cat("request")
+    assert len(requests) == 1
+    span = requests[0]
+    assert (span.start, span.end) == (10.0, 25.0)
+    assert span.track == ("run:1", "requests")
+    assert span.parent == "run:1/run"
+    assert span.attrs["latency_cycles"] == 15.0
+
+
+# ----------------------------------------------------------------------
+# Cold/warm canonical identity
+# ----------------------------------------------------------------------
+def test_canonical_projection_is_identical_cold_and_warm(tmp_path):
+    store = ResultStore(tmp_path / "s")
+
+    def capture():
+        bus = TelemetryBus()
+        ring = bus.subscribe(RingBufferSink(capacity=65536))
+        execute_jobs(JOBS, store=store, parallel=False, bus=bus)
+        return build_timeline(ring.events).canonical()
+
+    cold = capture()
+    warm = capture()
+    assert cold  # run + gc spans present
+    assert json.dumps(cold, sort_keys=True) == json.dumps(warm, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Perfetto export
+# ----------------------------------------------------------------------
+def test_export_validates_and_counts_spans(timeline):
+    doc = to_perfetto(timeline)
+    assert validate_perfetto(doc) == len(timeline.spans)
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_export_metadata_names_processes_and_threads(timeline):
+    doc = to_perfetto(timeline)
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+    assert "campaign" in names
+    assert any(n.startswith("job:0") for n in names)
+    threads = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+    assert "vm" in threads
+
+
+def test_export_args_carry_span_ids(timeline):
+    doc = to_perfetto(timeline)
+    ids = {
+        e["args"]["id"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "X"
+    }
+    assert "job:0/run" in ids and "grid:0" in ids
+
+
+def test_write_perfetto_roundtrip(tmp_path, timeline):
+    target = tmp_path / "out.perfetto.json"
+    write_perfetto(timeline, target)
+    doc = json.loads(target.read_text())
+    assert validate_perfetto(doc) == len(timeline.spans)
+
+
+def test_validate_rejects_nonmonotone_track():
+    bad = {"traceEvents": [
+        {"ph": "X", "pid": 1, "tid": 1, "name": "a", "ts": 10.0, "dur": 1.0,
+         "cat": "run", "args": {"id": "a"}},
+        {"ph": "X", "pid": 1, "tid": 1, "name": "b", "ts": 5.0, "dur": 1.0,
+         "cat": "run", "args": {"id": "b"}},
+    ]}
+    with pytest.raises(ValueError, match="monotone"):
+        validate_perfetto(bad)
+
+
+def test_validate_rejects_missing_fields():
+    with pytest.raises(ValueError):
+        validate_perfetto({"traceEvents": [{"ph": "X", "pid": 1}]})
+    with pytest.raises(ValueError):
+        validate_perfetto({"traceEvents": [
+            {"ph": "Q", "pid": 1, "tid": 1, "name": "x", "ts": 0, "dur": 1},
+        ]})
+
+
+# ----------------------------------------------------------------------
+# TraceExportSink: run -> Perfetto in one step
+# ----------------------------------------------------------------------
+def test_trace_export_sink_writes_on_close(tmp_path):
+    target = tmp_path / "run.perfetto.json"
+    sink = TraceExportSink(target)
+    run("jess", "25.25.100", 24 * 1024,
+        options=RunOptions(scale=SCALE, seed=13, sinks=(sink,)))
+    assert not target.exists()  # nothing written until close
+    sink.close()
+    assert sink.closed and sink.spans_written > 0
+    doc = json.loads(target.read_text())
+    assert validate_perfetto(doc) == sink.spans_written
+    sink.close()  # idempotent

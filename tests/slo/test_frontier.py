@@ -152,3 +152,31 @@ def test_knee_picks_the_highest_sustainable_rate():
         mmu_window_fraction=0.01, points=[_point(400, 100.0, mmu=0.2)],
     )
     assert low_mmu.knee(SLOBound(min_mmu=0.5)) is None
+
+
+# ----------------------------------------------------------------------
+# Cross-process campaign telemetry (ISSUE 10)
+# ----------------------------------------------------------------------
+def test_multiprocess_sweep_merges_worker_tagged_timeline():
+    """A pooled frontier sweep relays every worker's telemetry back to
+    the coordinator bus: one merged timeline, gc/run spans tagged with
+    at least two distinct worker pids."""
+    from repro.obs import RingBufferSink, TelemetryBus
+    from repro.obs.trace import build_timeline, to_perfetto, validate_perfetto
+
+    bus = TelemetryBus()
+    ring = bus.subscribe(RingBufferSink(capacity=65536))
+    frontier = sweep_frontier(
+        spec_for(), "25.25.100", 40 * 1024, [4000.0, 8000.0, 16000.0],
+        distill=False, bus=bus, max_workers=2, force_pool=True,
+    )
+    assert len(frontier.points) == 3
+    timeline = build_timeline(ring.events)
+    runs = timeline.of_cat("run")
+    assert len(runs) == 3
+    workers = {s.attrs.get("worker") for s in runs}
+    assert len(workers) >= 2 and all(w > 0 for w in workers)
+    gc_workers = {s.attrs.get("worker") for s in timeline.of_cat("gc")}
+    assert gc_workers and gc_workers <= workers
+    # The merged timeline exports cleanly despite pool-order interleaving.
+    assert validate_perfetto(to_perfetto(timeline)) == len(timeline.spans)

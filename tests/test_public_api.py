@@ -34,7 +34,7 @@ def test_all_exports_resolve(package):
 
 
 def test_version():
-    assert repro.__version__ == "1.6.0"
+    assert repro.__version__ == "1.7.0"
 
 
 def test_stable_run_surface():
@@ -46,7 +46,9 @@ def test_stable_run_surface():
                  "load_spec", "fingerprint", "load_workload",
                  "ServerWorkloadSpec", "RequestTask", "ArrivalSpec",
                  "RequestStats",
-                 "SLOBound", "sweep_frontier", "max_sustainable_rate"):
+                 "SLOBound", "sweep_frontier", "max_sustainable_rate",
+                 "build_timeline", "TraceExportSink", "write_perfetto",
+                 "compare_artefacts", "extract_metrics", "iter_jsonl"):
         assert name in repro.__all__
         assert callable(getattr(repro, name))
 

@@ -127,11 +127,25 @@ def test_serve_single_rate_keeps_unsuffixed_format(tmp_path, capsys):
         l for l in out.splitlines() if l.startswith("latency-cycles"))
 
 
-def test_serve_rate_ladder_rejects_trace(tmp_path):
+def test_serve_rate_ladder_traces_one_merged_timeline(tmp_path, capsys):
+    """A ladder plus --trace yields one JSONL timeline covering every
+    rung (this combination used to be rejected; the campaign bus made
+    the restriction obsolete)."""
+    from repro.obs.sinks import load_jsonl
+    from repro.obs.trace import build_timeline
+
     spec = mini_file(tmp_path)
-    with pytest.raises(SystemExit):
-        main(["serve", spec, "--heap-kb", "96", "--no-store",
-              "--rate", "400,800", "--trace", str(tmp_path / "t.jsonl")])
+    trace = tmp_path / "t.jsonl"
+    code = main(["serve", spec, "--heap-kb", "96", "--no-store",
+                 "--rate", "400,800", "--trace", str(trace)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"-> {trace}" in out
+    timeline = build_timeline(load_jsonl(trace, validate=True))
+    runs = timeline.of_cat("run")
+    assert len(runs) == 2
+    assert len(timeline.of_cat("grid")) == 2
+    assert timeline.of_cat("request")
 
 
 def test_serve_rate_ladder_rejects_garbage(tmp_path):
